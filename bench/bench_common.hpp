@@ -1,0 +1,42 @@
+// Shared plumbing for the bench harness: flag parsing and consistent row
+// printing. Every bench binary regenerates one table or figure of the paper
+// (see DESIGN.md section 3) at a laptop-scale default, or at the paper's
+// scale with --full.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace parmvn::bench {
+
+struct Args {
+  bool full = false;   // paper-scale dimensions
+  bool quick = false;  // CI-sized smoke run
+  i64 threads = 0;     // 0 = default_num_threads()
+
+  static Args parse(int argc, char** argv) {
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--full") == 0) args.full = true;
+      else if (std::strcmp(argv[i], "--quick") == 0) args.quick = true;
+      else if (std::strncmp(argv[i], "--threads=", 10) == 0)
+        args.threads = std::stoll(argv[i] + 10);
+    }
+    return args;
+  }
+};
+
+inline void header(const char* experiment, const char* description,
+                   const Args& args) {
+  std::printf("# %s\n# %s\n# mode: %s\n", experiment, description,
+              args.full ? "full (paper scale)"
+                        : (args.quick ? "quick" : "default (laptop scale)"));
+}
+
+inline void row_comment(const char* text) { std::printf("# %s\n", text); }
+
+}  // namespace parmvn::bench

@@ -1,0 +1,167 @@
+// Reproduces Fig. 1: confidence-region detection accuracy on synthetic
+// datasets with weak / medium / strong correlation.
+//
+// Per correlation level, four outputs mirror the figure's four panels:
+//   (1) marginal-probability map, (2) joint confidence region map,
+//   (3) MC-validation error 1-alpha - p_hat(alpha) for dense and TLR,
+//   (4) dense-vs-TLR confidence difference across TLR accuracies.
+//
+// Paper expectations: MC error within ~±5e-3 across all levels (column 3);
+// dense-TLR differences below 1e-3 at accuracy 1e-1 and vanishing beyond
+// 1e-3 (column 4).
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/env.hpp"
+#include "core/excursion.hpp"
+#include "core/mc_validation.hpp"
+#include "geo/covgen.hpp"
+#include "geo/field.hpp"
+#include "geo/geometry.hpp"
+#include "geo/io.hpp"
+#include "linalg/generator.hpp"
+#include "linalg/potrf.hpp"
+#include "runtime/runtime.hpp"
+#include "stats/covariance.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+using namespace parmvn;
+}
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
+  bench::header("Fig. 1", "CRD accuracy on synthetic datasets", args);
+
+  const i64 side = args.full ? 200 : (args.quick ? 16 : 22);
+  const i64 n = side * side;
+  const i64 tile = args.full ? 400 : 121;
+  const i64 mc_samples = args.full ? 50000 : 20000;
+  // Ranges spacing-matched to the paper's 200x200 grid.
+  const double scale = 200.0 / static_cast<double>(side);
+  struct Setting {
+    const char* name;
+    double range;
+  };
+  const Setting settings[] = {{"weak", 0.033}, {"medium", 0.1},
+                              {"strong", 0.234}};
+
+  for (const Setting& s : settings) {
+    const double range = s.range * scale;
+    std::printf("\n## correlation=%s (1, %.3f, 0.5), n=%lld\n", s.name,
+                s.range, static_cast<long long>(n));
+    const geo::LocationSet locs = geo::regular_grid(side, side);
+    auto kernel = std::make_shared<stats::ExponentialKernel>(1.0, range);
+    const geo::KernelCovGenerator prior_gen(locs, kernel, 1e-8);
+    const la::Matrix prior = geo::dense_from_generator(prior_gen);
+
+    // Paper's recipe: sample the field, observe ~15% of locations with
+    // N(0, 0.5^2) noise, and work on the posterior (eq. 7-8). A smooth
+    // bump in the prior mean creates genuine excursion structure (the
+    // paper's synthetic fields likewise contain regions clearly above u).
+    std::vector<double> prior_mean(static_cast<std::size_t>(n));
+    for (i64 i = 0; i < n; ++i) {
+      const auto& p = locs[static_cast<std::size_t>(i)];
+      const double dx = p.x - 0.35, dy = p.y - 0.6;
+      prior_mean[static_cast<std::size_t>(i)] =
+          4.2 * std::exp(-9.0 * (dx * dx + dy * dy));
+    }
+    const geo::GpSampler sampler(prior_gen);
+    std::vector<double> truth = sampler.draw(1000 + static_cast<u64>(side));
+    for (i64 i = 0; i < n; ++i)
+      truth[static_cast<std::size_t>(i)] += prior_mean[static_cast<std::size_t>(i)];
+    std::vector<i64> observed;
+    std::vector<double> y;
+    stats::Xoshiro256pp g(77);
+    for (i64 i = 0; i < n; ++i) {
+      if (g.next_u01() < 0.15625) {  // 6250/40000
+        observed.push_back(i);
+        y.push_back(truth[static_cast<std::size_t>(i)] + 0.5 * g.next_normal());
+      }
+    }
+    const geo::Posterior post = geo::posterior_from_observations(
+        prior, prior_mean, observed, y, 0.25);
+
+    rt::Runtime rt(args.threads > 0 ? static_cast<int>(args.threads)
+                                    : default_num_threads());
+    la::DenseGenerator post_gen(la::to_matrix(post.covariance.view()));
+
+    core::CrdOptions opts;
+    opts.threshold = 1.0;
+    opts.alpha = 0.05;
+    opts.tile = tile;
+    opts.pmvn.samples_per_shift = 500;
+    opts.pmvn.shifts = 10;
+    opts.pmvn.sampler = stats::SamplerKind::kRichtmyer;
+    const core::CrdResult dense =
+        core::detect_confidence_region(rt, post_gen, post.mean, opts);
+
+    core::CrdOptions topts = opts;
+    topts.mode = core::CrdMode::kTlr;
+    topts.tlr_tol = 1e-3;
+    const core::CrdResult tlr =
+        core::detect_confidence_region(rt, post_gen, post.mean, topts);
+
+    // Panel 1+2: maps.
+    std::printf("marginal probability map:\n%s",
+                geo::ascii_heatmap(locs, dense.marginal, 44, 14, 0.0, 1.0)
+                    .c_str());
+    std::vector<double> region(dense.region.begin(), dense.region.end());
+    std::printf("confidence region (1-alpha=0.95), %lld locations:\n%s",
+                static_cast<long long>(dense.region_size),
+                geo::ascii_heatmap(locs, region, 44, 14, 0.0, 1.0).c_str());
+
+    // Panel 3: MC validation of dense and TLR regions.
+    const geo::CorrelationGenerator corr(post_gen);
+    const geo::PermutedGenerator permuted(corr, dense.order);
+    la::Matrix l_ord = geo::dense_from_generator(permuted);
+    la::potrf_lower_or_throw(l_ord.view());
+    std::vector<double> a_ord(static_cast<std::size_t>(n));
+    for (i64 i = 0; i < n; ++i) {
+      const i64 src = dense.order[static_cast<std::size_t>(i)];
+      a_ord[static_cast<std::size_t>(i)] =
+          (opts.threshold - post.mean[static_cast<std::size_t>(src)]) /
+          std::sqrt(post.covariance(src, src));
+    }
+    std::vector<double> levels;
+    for (double lv = 0.1; lv < 0.96; lv += 0.1) levels.push_back(lv);
+    levels.push_back(0.95);
+    const core::McValidationResult vd = core::validate_region_mc(
+        l_ord.view(), a_ord, dense.prefix_prob, levels, mc_samples, 5);
+    const core::McValidationResult vt = core::validate_region_mc(
+        l_ord.view(), a_ord, tlr.prefix_prob, levels, mc_samples, 5);
+    std::printf("level,err_dense,err_tlr   (err = 1-alpha - p_hat)\n");
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+      std::printf("%.2f,%+.4f,%+.4f\n", levels[i], levels[i] - vd.p_hat[i],
+                  levels[i] - vt.p_hat[i]);
+    }
+
+    // Panel 4: dense vs TLR across compression accuracies. The difference
+    // is measured over locations with non-negligible confidence (> 1%);
+    // deeper prefixes carry probabilities near zero where the comparison
+    // is vacuous.
+    std::printf("tlr_accuracy,max_abs_confidence_diff\n");
+    for (double acc : {1e-1, 1e-2, 1e-3, 1e-5, 1e-7}) {
+      core::CrdOptions aopts = topts;
+      aopts.tlr_tol = acc;
+      const core::CrdResult ra =
+          core::detect_confidence_region(rt, post_gen, post.mean, aopts);
+      double max_diff = 0.0;
+      for (i64 i = 0; i < n; ++i) {
+        if (dense.confidence[static_cast<std::size_t>(i)] < 0.01) continue;
+        max_diff = std::max(
+            max_diff, std::fabs(ra.confidence[static_cast<std::size_t>(i)] -
+                                dense.confidence[static_cast<std::size_t>(i)]));
+      }
+      std::printf("%.0e,%.2e\n", acc, max_diff);
+      std::fflush(stdout);
+    }
+  }
+  bench::row_comment(
+      "paper: MC error within ~5e-3 of zero at all levels; dense-TLR gap "
+      "< 1e-3 already at accuracy 1e-1, negligible beyond 1e-3");
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Microbenchmarks (google-benchmark) of the hot kernels: dense BLAS-3, the
+// QMC tile kernel, tile compression and the scalar normal functions. These
+// are the quantities the distributed cost model is calibrated against.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/qmc_kernel.hpp"
+#include "geo/covgen.hpp"
+#include "geo/geometry.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/potrf.hpp"
+#include "stats/bessel.hpp"
+#include "stats/covariance.hpp"
+#include "stats/normal.hpp"
+#include "stats/qmc.hpp"
+#include "stats/rng.hpp"
+#include "tlr/lr_tile.hpp"
+
+namespace {
+
+using namespace parmvn;
+
+la::Matrix random_matrix(i64 m, i64 n, u64 seed) {
+  stats::Xoshiro256pp g(seed);
+  la::Matrix a(m, n);
+  for (i64 j = 0; j < n; ++j)
+    for (i64 i = 0; i < m; ++i) a(i, j) = g.next_normal();
+  return a;
+}
+
+la::Matrix spd_lower(i64 n) {
+  la::Matrix a = random_matrix(n, n, 3);
+  la::Matrix s(n, n);
+  la::gemm(la::Trans::kNo, la::Trans::kYes, 1.0, a.view(), a.view(), 0.0,
+           s.view());
+  for (i64 i = 0; i < n; ++i) s(i, i) += static_cast<double>(n);
+  la::potrf_lower_or_throw(s.view());
+  return s;
+}
+
+void BM_gemm(benchmark::State& state) {
+  const i64 nb = state.range(0);
+  const la::Matrix a = random_matrix(nb, nb, 1);
+  const la::Matrix b = random_matrix(nb, nb, 2);
+  la::Matrix c(nb, nb);
+  for (auto _ : state) {
+    la::gemm(la::Trans::kNo, la::Trans::kNo, 1.0, a.view(), b.view(), 1.0,
+             c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      2.0 * nb * nb * nb * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_gemm)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_potrf(benchmark::State& state) {
+  const i64 nb = state.range(0);
+  la::Matrix a = random_matrix(nb, nb, 4);
+  la::Matrix s(nb, nb);
+  la::gemm(la::Trans::kNo, la::Trans::kYes, 1.0, a.view(), a.view(), 0.0,
+           s.view());
+  for (i64 i = 0; i < nb; ++i) s(i, i) += static_cast<double>(nb);
+  for (auto _ : state) {
+    la::Matrix work = la::to_matrix(s.view());
+    la::potrf_lower_or_throw(work.view());
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      nb * nb * nb / 3.0 * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_potrf)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_trsm(benchmark::State& state) {
+  const i64 nb = state.range(0);
+  const la::Matrix l = spd_lower(nb);
+  const la::Matrix b0 = random_matrix(nb, nb, 5);
+  for (auto _ : state) {
+    la::Matrix b = la::to_matrix(b0.view());
+    la::trsm(la::Side::kRight, la::Trans::kYes, 1.0, l.view(), b.view());
+    benchmark::DoNotOptimize(b.data());
+  }
+}
+BENCHMARK(BM_trsm)->Arg(128)->Arg(256);
+
+void BM_qmc_kernel(benchmark::State& state) {
+  const i64 nb = state.range(0);
+  const la::Matrix l = spd_lower(nb);
+  const stats::PointSet pts(stats::SamplerKind::kPseudoMC, nb, nb, 1, 7);
+  la::Matrix a(nb, nb), b(nb, nb), y(nb, nb);
+  for (i64 j = 0; j < nb; ++j)
+    for (i64 i = 0; i < nb; ++i) {
+      a(i, j) = -1.0;
+      b(i, j) = 1.0;
+    }
+  std::vector<double> p(static_cast<std::size_t>(nb), 1.0);
+  for (auto _ : state) {
+    std::fill(p.begin(), p.end(), 1.0);
+    core::qmc_tile_kernel(l.view(), pts, 0, 0, a.view(), b.view(), y.view(),
+                          p.data(), nullptr);
+    benchmark::DoNotOptimize(p.data());
+  }
+  state.counters["entries/s"] = benchmark::Counter(
+      static_cast<double>(nb * nb) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_qmc_kernel)->Arg(128)->Arg(256);
+
+void BM_compress_block(benchmark::State& state) {
+  const i64 nb = state.range(0);
+  geo::LocationSet locs = geo::regular_grid(32, 32);
+  locs = geo::apply_permutation(locs, geo::morton_order(locs));
+  auto kernel = std::make_shared<stats::MaternKernel>(1.0, 0.4, 0.5);
+  const geo::KernelCovGenerator gen(locs, kernel, 0.0);
+  la::Matrix block(nb, nb);
+  gen.fill(nb, 0, block.view());
+  for (auto _ : state) {
+    const tlr::LowRankTile t = tlr::compress_block(block.view(), 1e-3, -1);
+    benchmark::DoNotOptimize(t.rank());
+  }
+}
+BENCHMARK(BM_compress_block)->Arg(128)->Arg(256);
+
+void BM_norm_cdf(benchmark::State& state) {
+  double x = -4.0;
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += stats::norm_cdf(x);
+    x += 1e-5;
+    if (x > 4.0) x = -4.0;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_norm_cdf);
+
+void BM_norm_quantile(benchmark::State& state) {
+  double p = 1e-6;
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += stats::norm_quantile(p);
+    p += 1e-7;
+    if (p > 1.0 - 1e-6) p = 1e-6;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_norm_quantile);
+
+void BM_bessel_k(benchmark::State& state) {
+  double x = 0.1;
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += stats::bessel_k(1.43391, x);
+    x += 1e-4;
+    if (x > 20.0) x = 0.1;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_bessel_k);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// Air-quality exceedance mapping from sparse monitoring stations — the
+// paper's pollution motivation, and the example that exercises the full
+// posterior pipeline of its synthetic experiments (eq. 7-8): a latent
+// pollution field is observed with noise at a few stations, the posterior
+// field is computed, and the confidence region for "PM concentration
+// exceeds the health limit" is detected on the posterior.
+//
+// Build & run:  ./build/examples/air_quality
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "core/excursion.hpp"
+#include "geo/covgen.hpp"
+#include "geo/field.hpp"
+#include "geo/io.hpp"
+#include "linalg/generator.hpp"
+#include "runtime/runtime.hpp"
+#include "stats/rng.hpp"
+
+int main() {
+  using namespace parmvn;
+  const i64 side = 26;
+  const i64 n = side * side;
+  const geo::LocationSet grid = geo::regular_grid(side, side);
+
+  // Latent pollution anomaly: medium-correlation exponential field around a
+  // city-shaped mean plume.
+  std::vector<double> plume(static_cast<std::size_t>(n));
+  for (i64 i = 0; i < n; ++i) {
+    const auto& p = grid[static_cast<std::size_t>(i)];
+    const double dx = p.x - 0.35, dy = p.y - 0.55;
+    plume[static_cast<std::size_t>(i)] =
+        2.8 * std::exp(-(dx * dx * 3.0 + dy * dy) / 0.05);
+  }
+  auto kernel = std::make_shared<stats::ExponentialKernel>(1.0, 0.1);
+  const geo::KernelCovGenerator prior_cov_gen(grid, kernel, 1e-6);
+  const la::Matrix prior_cov = geo::dense_from_generator(prior_cov_gen);
+  const geo::GpSampler sampler(prior_cov_gen);
+
+  // True field = plume + GP anomaly; observed at ~15% stations with noise
+  // sd 0.5 (the paper's synthetic-data recipe).
+  std::vector<double> true_field = sampler.draw(11);
+  for (i64 i = 0; i < n; ++i)
+    true_field[static_cast<std::size_t>(i)] +=
+        plume[static_cast<std::size_t>(i)];
+  std::vector<i64> stations;
+  std::vector<double> readings;
+  stats::Xoshiro256pp g(17);
+  const double tau = 0.5;
+  for (i64 i = 0; i < n; ++i) {
+    if (g.next_u01() < 0.15) {
+      stations.push_back(i);
+      readings.push_back(true_field[static_cast<std::size_t>(i)] +
+                         tau * g.next_normal());
+    }
+  }
+  std::printf("=== Air-quality exceedance mapping ===\n");
+  std::printf("%zu monitoring stations over %lld grid cells\n",
+              stations.size(), static_cast<long long>(n));
+
+  // Posterior field given the stations (paper eq. 7-8).
+  const geo::Posterior post = geo::posterior_from_observations(
+      prior_cov, plume, stations, readings, tau * tau);
+
+  std::printf("\nTrue pollution field:\n%s\n",
+              geo::ascii_heatmap(grid, true_field, 52, 18).c_str());
+  std::printf("Posterior mean from stations:\n%s\n",
+              geo::ascii_heatmap(grid, post.mean, 52, 18).c_str());
+
+  // Confidence region for exceedance of the health limit u = 2.0 at 95%.
+  rt::Runtime rt;
+  la::DenseGenerator post_gen(la::to_matrix(post.covariance.view()));
+  core::CrdOptions opts;
+  opts.threshold = 2.0;
+  opts.alpha = 0.05;
+  opts.tile = 169;
+  opts.pmvn.samples_per_shift = 1000;
+  opts.pmvn.shifts = 10;
+  opts.pmvn.sampler = stats::SamplerKind::kRichtmyer;
+  const core::CrdResult r =
+      core::detect_confidence_region(rt, post_gen, post.mean, opts);
+
+  std::vector<double> region(r.region.begin(), r.region.end());
+  std::printf("Marginal P(pollution > limit):\n%s\n",
+              geo::ascii_heatmap(grid, r.marginal, 52, 18, 0.0, 1.0).c_str());
+  std::printf("95%% joint confidence region (%lld cells):\n%s\n",
+              static_cast<long long>(r.region_size),
+              geo::ascii_heatmap(grid, region, 52, 18, 0.0, 1.0).c_str());
+
+  // Validate against the ground truth: inside the region the true field
+  // should exceed the limit essentially everywhere.
+  i64 correct = 0;
+  for (i64 i = 0; i < n; ++i)
+    if (r.region[static_cast<std::size_t>(i)] != 0 &&
+        true_field[static_cast<std::size_t>(i)] > 2.0)
+      ++correct;
+  if (r.region_size > 0) {
+    std::printf("ground-truth exceedance inside region: %lld / %lld\n",
+                static_cast<long long>(correct),
+                static_cast<long long>(r.region_size));
+  }
+  std::printf(
+      "\nThis is the paper's synthetic-experiment pipeline end to end:\n"
+      "prior kernel -> station posterior (eq. 7-8) -> PMVN prefix sweep ->\n"
+      "excursion region on the posterior field.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// MRI-flavoured confidence-region detection (the paper cites tumor
+// localisation in MRI scans as a primary application of excursion sets).
+//
+// A synthetic "scan" is built as activation = lesion blob + smooth
+// anatomical background + spatially correlated acquisition noise. The task:
+// find the set of pixels whose underlying intensity exceeds a clinical
+// threshold with 95% *joint* confidence — the statistically sound version
+// of thresholding a probability map pixel-by-pixel.
+//
+// Build & run:  ./build/examples/tumor_detection
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "core/excursion.hpp"
+#include "geo/covgen.hpp"
+#include "geo/field.hpp"
+#include "geo/io.hpp"
+#include "runtime/runtime.hpp"
+
+int main() {
+  using namespace parmvn;
+  const i64 side = 28;  // 28x28 "scan"
+  const i64 n = side * side;
+  const geo::LocationSet pixels = geo::regular_grid(side, side);
+
+  // Ground truth: a lesion at (0.62, 0.4) on a smooth background.
+  std::vector<double> truth(static_cast<std::size_t>(n));
+  for (i64 i = 0; i < n; ++i) {
+    const auto& p = pixels[static_cast<std::size_t>(i)];
+    const double dx = p.x - 0.62, dy = p.y - 0.40;
+    const double lesion = 3.6 * std::exp(-(dx * dx + dy * dy) / 0.012);
+    const double background = 0.4 * std::sin(3.0 * p.x) * std::cos(2.0 * p.y);
+    truth[static_cast<std::size_t>(i)] = lesion + background;
+  }
+
+  // Acquisition noise: Matern(3/2) field, moderately correlated.
+  auto noise_kernel = std::make_shared<stats::MaternKernel>(0.35, 0.06, 1.5);
+  const geo::KernelCovGenerator noise_cov(pixels, noise_kernel, 1e-6);
+  const geo::GpSampler noise(noise_cov);
+  std::vector<double> scan = truth;
+  {
+    const std::vector<double> eps = noise.draw(20240614);
+    for (i64 i = 0; i < n; ++i)
+      scan[static_cast<std::size_t>(i)] += eps[static_cast<std::size_t>(i)];
+  }
+
+  std::printf("=== Synthetic MRI activation scan (%lldx%lld) ===\n",
+              static_cast<long long>(side), static_cast<long long>(side));
+  std::printf("\nObserved scan:\n%s\n",
+              geo::ascii_heatmap(pixels, scan, 56, 20).c_str());
+
+  // The posterior of the true intensity given the scan: X | scan with
+  // X ~ N(scan, noise_cov) as in the excursion-set literature (plug-in).
+  const double u = 1.8;   // clinical threshold
+  const double alpha = 0.05;
+
+  rt::Runtime rt;
+  core::CrdOptions opts;
+  opts.threshold = u;
+  opts.alpha = alpha;
+  opts.tile = 98;
+  opts.pmvn.samples_per_shift = 1000;
+  opts.pmvn.shifts = 10;
+  opts.pmvn.sampler = stats::SamplerKind::kRichtmyer;
+  const core::CrdResult r =
+      core::detect_confidence_region(rt, noise_cov, scan, opts);
+
+  std::printf("Marginal exceedance probability P(X > %.1f):\n%s\n", u,
+              geo::ascii_heatmap(pixels, r.marginal, 56, 20, 0.0, 1.0).c_str());
+
+  // Pixel-wise thresholding of the marginal map — the naive approach.
+  i64 naive_size = 0;
+  std::vector<double> naive(static_cast<std::size_t>(n), 0.0);
+  for (i64 i = 0; i < n; ++i) {
+    if (r.marginal[static_cast<std::size_t>(i)] >= 1.0 - alpha) {
+      naive[static_cast<std::size_t>(i)] = 1.0;
+      ++naive_size;
+    }
+  }
+  std::vector<double> joint(r.region.begin(), r.region.end());
+  std::printf("Naive marginal thresholding (>= 95%%): %lld pixels\n%s\n",
+              static_cast<long long>(naive_size),
+              geo::ascii_heatmap(pixels, naive, 56, 20, 0.0, 1.0).c_str());
+  std::printf("Joint 95%% confidence region: %lld pixels\n%s\n",
+              static_cast<long long>(r.region_size),
+              geo::ascii_heatmap(pixels, joint, 56, 20, 0.0, 1.0).c_str());
+
+  // Ground-truth check: how many flagged pixels are genuinely above u?
+  auto precision = [&](const std::vector<double>& mask) {
+    i64 flagged = 0, correct = 0;
+    for (i64 i = 0; i < n; ++i) {
+      if (mask[static_cast<std::size_t>(i)] > 0.5) {
+        ++flagged;
+        if (truth[static_cast<std::size_t>(i)] > u) ++correct;
+      }
+    }
+    return flagged == 0 ? 1.0
+                        : static_cast<double>(correct) /
+                              static_cast<double>(flagged);
+  };
+  std::printf("precision vs ground truth: naive %.3f, joint region %.3f\n",
+              precision(naive), precision(joint));
+  std::printf(
+      "\nThe joint region is a *simultaneous* statement: with 95%%\n"
+      "confidence every flagged pixel exceeds the threshold — the guarantee\n"
+      "a surgeon actually wants, and the reason the region is smaller than\n"
+      "the naive marginal mask.\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Wind-farm siting (the paper's Section V-C2 application, on the synthetic
+// Saudi wind dataset): find the regions that exceed 4 m/s mean wind speed
+// with 95% joint confidence, comparing marginal probabilities against the
+// joint confidence region, and dense against TLR arithmetic.
+//
+// Pipeline (identical to the paper's):
+//   simulate daily wind -> per-location moments -> standardize target day
+//   -> Matern MLE -> confidence region detection (dense & TLR) -> maps.
+//
+// Build & run:  ./build/examples/wind_farm_siting [grid_nx grid_ny]
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/excursion.hpp"
+#include "geo/covgen.hpp"
+#include "geo/io.hpp"
+#include "geo/wind.hpp"
+#include "mle/fit.hpp"
+#include "runtime/runtime.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parmvn;
+  geo::WindOptions wopts;
+  wopts.grid_nx = (argc > 2) ? std::stoll(argv[1]) : 36;
+  wopts.grid_ny = (argc > 2) ? std::stoll(argv[2]) : 27;
+
+  std::printf("=== Synthetic Saudi wind dataset ===\n");
+  const geo::WindDataset data = geo::simulate_wind(wopts);
+  const i64 n = static_cast<i64>(data.locations.size());
+  std::printf("locations: %lld, days: %lld, target day: %lld\n",
+              static_cast<long long>(n),
+              static_cast<long long>(data.daily_speed.cols()),
+              static_cast<long long>(data.target_day));
+
+  std::vector<double> target_speed(static_cast<std::size_t>(n));
+  for (i64 i = 0; i < n; ++i)
+    target_speed[static_cast<std::size_t>(i)] =
+        data.daily_speed(i, data.target_day);
+  std::printf("\nTarget-day wind speed (m/s), north on top:\n%s\n",
+              geo::ascii_heatmap(data.locations, target_speed, 64, 20).c_str());
+
+  // Matern MLE on the standardized snapshot (the ExaGeoStat step). A
+  // subsample keeps the O(n^3) likelihood iterations snappy.
+  geo::LocationSet unit = geo::regular_grid(wopts.grid_nx, wopts.grid_ny);
+  geo::LocationSet fit_locs;
+  std::vector<double> fit_z;
+  for (i64 i = 0; i < n; i += 2) {
+    fit_locs.push_back(unit[static_cast<std::size_t>(i)]);
+    fit_z.push_back(data.target_standardized[static_cast<std::size_t>(i)]);
+  }
+  mle::MaternFitOptions fopts;
+  fopts.init_sigma2 = 1.0;
+  fopts.init_range = 0.05;
+  fopts.init_smoothness = 1.43391;  // the paper's fitted smoothness
+  fopts.fix_smoothness = true;
+  const mle::MaternFit fit = mle::fit_matern(fit_locs, fit_z, fopts);
+  std::printf(
+      "fitted Matern: sigma2=%.4f range=%.4f smoothness=%.5f (loglik %.1f, "
+      "%lld evals)\n",
+      fit.sigma2, fit.range, fit.smoothness, fit.loglik,
+      static_cast<long long>(fit.evals));
+
+  // Confidence-region detection at u = 4 m/s, 1-alpha = 0.95. The threshold
+  // acts on the *raw* scale; standardization folds it into the mean field:
+  // X_i > 4  <=>  Z_i > (4 - mean_i)/sd_i with Z the standardized field.
+  auto kernel = std::make_shared<stats::MaternKernel>(
+      fit.sigma2, fit.range, fit.smoothness);
+  const geo::KernelCovGenerator cov(unit, kernel, 1e-6);
+  std::vector<double> mean_shift(static_cast<std::size_t>(n));
+  for (i64 i = 0; i < n; ++i) {
+    // Work on the standardized scale: mean = z_target (the observed field),
+    // and the "process" is the fitted zero-mean GP fluctuation around it.
+    mean_shift[static_cast<std::size_t>(i)] =
+        data.target_standardized[static_cast<std::size_t>(i)];
+  }
+  std::vector<double> u_std(static_cast<std::size_t>(n));
+  for (i64 i = 0; i < n; ++i)
+    u_std[static_cast<std::size_t>(i)] =
+        (4.0 - data.moments.mean[static_cast<std::size_t>(i)]) /
+        data.moments.sd[static_cast<std::size_t>(i)];
+  // Shift so a single threshold u=0 applies: mean' = z - u_std.
+  for (i64 i = 0; i < n; ++i)
+    mean_shift[static_cast<std::size_t>(i)] -=
+        u_std[static_cast<std::size_t>(i)];
+
+  rt::Runtime rt;
+  core::CrdOptions opts;
+  opts.threshold = 0.0;
+  opts.alpha = 0.05;
+  opts.tile = 128;
+  opts.pmvn.samples_per_shift = 1000;
+  opts.pmvn.shifts = 10;
+  opts.pmvn.sampler = stats::SamplerKind::kRichtmyer;
+
+  const core::CrdResult dense =
+      core::detect_confidence_region(rt, cov, mean_shift, opts);
+
+  core::CrdOptions topts = opts;
+  topts.mode = core::CrdMode::kTlr;
+  topts.tlr_tol = 1e-4;       // the wind study's accuracy
+  topts.tlr_max_rank = 145;   // and max rank
+  const core::CrdResult tlr =
+      core::detect_confidence_region(rt, cov, mean_shift, topts);
+
+  std::printf("\nMarginal P(X > 4 m/s):\n%s\n",
+              geo::ascii_heatmap(data.locations, dense.marginal, 64, 20, 0.0,
+                                 1.0)
+                  .c_str());
+  std::vector<double> region_d(dense.region.begin(), dense.region.end());
+  std::vector<double> region_t(tlr.region.begin(), tlr.region.end());
+  std::printf("Confidence region, dense (95%%): %lld locations\n%s\n",
+              static_cast<long long>(dense.region_size),
+              geo::ascii_heatmap(data.locations, region_d, 64, 20, 0.0, 1.0)
+                  .c_str());
+  std::printf("Confidence region, TLR 1e-4 (95%%): %lld locations\n%s\n",
+              static_cast<long long>(tlr.region_size),
+              geo::ascii_heatmap(data.locations, region_t, 64, 20, 0.0, 1.0)
+                  .c_str());
+
+  double max_diff = 0.0;
+  for (i64 i = 0; i < n; ++i)
+    max_diff = std::max(max_diff,
+                        std::fabs(dense.confidence[static_cast<std::size_t>(i)] -
+                                  tlr.confidence[static_cast<std::size_t>(i)]));
+  std::printf("max |dense - TLR| confidence difference: %.2e\n", max_diff);
+  std::printf("factor time: dense %.2fs vs TLR %.2fs; sweep: %.2fs vs %.2fs\n",
+              dense.factor_seconds, tlr.factor_seconds, dense.sweep_seconds,
+              tlr.sweep_seconds);
+
+  geo::write_field_csv("wind_confidence_dense.csv", data.locations,
+                       dense.confidence);
+  geo::write_field_csv("wind_confidence_tlr.csv", data.locations,
+                       tlr.confidence);
+  std::printf(
+      "\nWrote wind_confidence_dense.csv / wind_confidence_tlr.csv.\n"
+      "Note how the marginal map over-promises (most of the map looks\n"
+      "windy) while the joint confidence region concentrates on the\n"
+      "ridges — the paper's core qualitative message (its Fig. 2).\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Cache-line / SIMD aligned allocation for numeric buffers.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace parmvn {
+
+inline constexpr std::size_t kSimdAlign = 64;  // one cache line / AVX-512 lane
+
+/// Minimal std::allocator-compatible aligned allocator (Core Guidelines R.10:
+/// no naked malloc/free escape this class).
+template <class T, std::size_t Align = kSimdAlign>
+struct AlignedAllocator {
+  using value_type = T;
+
+  // The non-type Align parameter defeats allocator_traits' automatic rebind
+  // deduction, so spell it out.
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T))
+      throw std::bad_alloc();
+    void* p = std::aligned_alloc(Align, round_up(n * sizeof(T)));
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  template <class U>
+  bool operator==(const AlignedAllocator<U, Align>&) const noexcept {
+    return true;
+  }
+
+ private:
+  static constexpr std::size_t round_up(std::size_t bytes) {
+    return (bytes + Align - 1) / Align * Align;
+  }
+};
+
+/// Vector whose data pointer is 64-byte aligned.
+template <class T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace parmvn

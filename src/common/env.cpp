@@ -1,0 +1,34 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace parmvn {
+
+i64 env_i64(const char* name, i64 fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::stoll(v);
+}
+
+double env_f64(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::stod(v);
+}
+
+std::string env_str(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return v;
+}
+
+int default_num_threads() {
+  const i64 env = env_i64("PARMVN_NUM_THREADS", 0);
+  if (env > 0) return static_cast<int>(env);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace parmvn

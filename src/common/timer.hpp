@@ -1,0 +1,33 @@
+// Wall-clock timing utilities for benchmarks and runtime tracing.
+#pragma once
+
+#include <chrono>
+
+namespace parmvn {
+
+/// Monotonic wall-clock stopwatch. Started on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Global monotonic timestamp in seconds; used by the task tracer so all
+/// workers share one time origin.
+inline double global_time_s() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point origin = clock::now();
+  return std::chrono::duration<double>(clock::now() - origin).count();
+}
+
+}  // namespace parmvn

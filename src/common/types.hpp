@@ -1,0 +1,16 @@
+// Fundamental index and size types used across the library.
+//
+// Tile indices, matrix dimensions and flop counts routinely exceed 2^31 for
+// the problem sizes in the paper (n up to 760,384), so all sizes are signed
+// 64-bit (signed per Core Guidelines ES.102/ES.106 to keep arithmetic sane).
+#pragma once
+
+#include <cstdint>
+
+namespace parmvn {
+
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using u64 = std::uint64_t;
+
+}  // namespace parmvn

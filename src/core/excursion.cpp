@@ -1,0 +1,139 @@
+#include "core/excursion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/contracts.hpp"
+#include "common/timer.hpp"
+#include "stats/normal.hpp"
+#include "tile/tiled_potrf.hpp"
+#include "tlr/tlr_potrf.hpp"
+
+namespace parmvn::core {
+
+CrdResult detect_confidence_region(rt::Runtime& rt,
+                                   const la::MatrixGenerator& cov,
+                                   std::span<const double> mean,
+                                   const CrdOptions& opts) {
+  const i64 n = cov.rows();
+  PARMVN_EXPECTS(cov.cols() == n);
+  PARMVN_EXPECTS(static_cast<i64>(mean.size()) == n);
+  PARMVN_EXPECTS(opts.alpha > 0.0 && opts.alpha < 1.0);
+
+  if (opts.direction == CrdDirection::kBelow) {
+    // E-_{u,alpha}(X) == E+_{-u,alpha}(-X): negate the mean and threshold
+    // (the covariance is reflection-invariant) and recurse.
+    std::vector<double> neg_mean(mean.begin(), mean.end());
+    for (double& m : neg_mean) m = -m;
+    CrdOptions flipped = opts;
+    flipped.direction = CrdDirection::kAbove;
+    flipped.threshold = -opts.threshold;
+    return detect_confidence_region(rt, cov, neg_mean, flipped);
+  }
+
+  CrdResult res;
+
+  // Lines 3-5 of Algorithm 1: marginal exceedance probabilities.
+  res.marginal.resize(static_cast<std::size_t>(n));
+  std::vector<double> z_threshold(static_cast<std::size_t>(n));
+  for (i64 i = 0; i < n; ++i) {
+    const double sd = std::sqrt(cov.entry(i, i));
+    PARMVN_EXPECTS(sd > 0.0);
+    const double z = (opts.threshold - mean[static_cast<std::size_t>(i)]) / sd;
+    z_threshold[static_cast<std::size_t>(i)] = z;
+    res.marginal[static_cast<std::size_t>(i)] = 1.0 - stats::norm_cdf(z);
+  }
+
+  // Line 6: order locations by descending marginal probability.
+  res.order.resize(static_cast<std::size_t>(n));
+  std::iota(res.order.begin(), res.order.end(), i64{0});
+  std::stable_sort(res.order.begin(), res.order.end(), [&](i64 x, i64 y) {
+    return res.marginal[static_cast<std::size_t>(x)] >
+           res.marginal[static_cast<std::size_t>(y)];
+  });
+
+  // Limits in the ordered, standardised space: the event is
+  // {X_ord > z_ord} component-wise, i.e. a = z, b = +inf.
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> a_ord(static_cast<std::size_t>(n));
+  std::vector<double> b_ord(static_cast<std::size_t>(n), inf);
+  for (i64 i = 0; i < n; ++i)
+    a_ord[static_cast<std::size_t>(i)] =
+        z_threshold[static_cast<std::size_t>(res.order[static_cast<std::size_t>(i)])];
+
+  // Correlation matrix in the opM order.
+  const geo::CorrelationGenerator corr(cov);
+  const geo::PermutedGenerator permuted(corr, res.order);
+
+  // Lines 7-8: factorization (dense tiled or TLR), then the PMVN sweep.
+  PmvnOptions pmvn_opts = opts.pmvn;
+  pmvn_opts.prefix = (opts.strategy == CrdStrategy::kSweep);
+
+  if (opts.strategy == CrdStrategy::kSweep) {
+    if (opts.mode == CrdMode::kDense) {
+      WallTimer factor_timer;
+      tile::TileMatrix l(rt, n, n, opts.tile, tile::Layout::kLowerSymmetric,
+                         "Sigma");
+      l.generate_async(rt, permuted);
+      rt.wait_all();
+      tile::potrf_tiled(rt, l);
+      res.factor_seconds = factor_timer.seconds();
+      const PmvnResult pr = pmvn_dense(rt, l, a_ord, b_ord, pmvn_opts);
+      res.prefix_prob = pr.prefix_prob;
+      res.sweep_seconds = pr.seconds;
+    } else {
+      WallTimer factor_timer;
+      tlr::TlrMatrix l =
+          tlr::TlrMatrix::compress(rt, permuted, opts.tile, opts.tlr_tol,
+                                   opts.tlr_max_rank);
+      tlr::potrf_tlr(rt, l);
+      res.factor_seconds = factor_timer.seconds();
+      const PmvnResult pr = pmvn_tlr(rt, l, a_ord, b_ord, pmvn_opts);
+      res.prefix_prob = pr.prefix_prob;
+      res.sweep_seconds = pr.seconds;
+    }
+  } else {
+    // Literal Algorithm 1: one full PMVN per prefix (test oracle).
+    WallTimer factor_timer;
+    tile::TileMatrix l(rt, n, n, opts.tile, tile::Layout::kLowerSymmetric,
+                       "Sigma");
+    l.generate_async(rt, permuted);
+    rt.wait_all();
+    tile::potrf_tiled(rt, l);
+    res.factor_seconds = factor_timer.seconds();
+    WallTimer sweep_timer;
+    res.prefix_prob.resize(static_cast<std::size_t>(n));
+    std::vector<double> a_partial(static_cast<std::size_t>(n), -inf);
+    for (i64 i = 0; i < n; ++i) {
+      a_partial[static_cast<std::size_t>(i)] = a_ord[static_cast<std::size_t>(i)];
+      const PmvnResult pr = pmvn_dense(rt, l, a_partial, b_ord, pmvn_opts);
+      res.prefix_prob[static_cast<std::size_t>(i)] = pr.prob;
+    }
+    res.sweep_seconds = sweep_timer.seconds();
+  }
+
+  // Confidence function: monotone (non-increasing) envelope of the prefix
+  // probabilities mapped back to original indices. Prefix probabilities are
+  // mathematically non-increasing; the envelope removes QMC noise.
+  res.confidence.resize(static_cast<std::size_t>(n));
+  double running = 1.0;
+  for (i64 i = 0; i < n; ++i) {
+    running = std::min(running, res.prefix_prob[static_cast<std::size_t>(i)]);
+    res.confidence[static_cast<std::size_t>(
+        res.order[static_cast<std::size_t>(i)])] = running;
+  }
+
+  const double level = 1.0 - opts.alpha;
+  res.region.assign(static_cast<std::size_t>(n), 0);
+  for (i64 i = 0; i < n; ++i) {
+    if (res.confidence[static_cast<std::size_t>(i)] >= level) {
+      res.region[static_cast<std::size_t>(i)] = 1;
+      ++res.region_size;
+    }
+  }
+  return res;
+}
+
+}  // namespace parmvn::core

@@ -1,0 +1,64 @@
+// Confidence-region (excursion-set) detection — the paper's Algorithm 1,
+// built on the PMVN sweep.
+//
+// Given a covariance model over n locations, a mean field, a threshold u and
+// a confidence level 1-alpha, computes the positive confidence function
+// F+(s) (paper eq. 5) and the region E+_{u,alpha} = {s : F+(s) >= 1-alpha}.
+//
+// Two strategies:
+//  * kSweep (default): one Cholesky + one prefix-PMVN sweep over the
+//    marginal-probability ordering gives every prefix's joint probability at
+//    once — the running SOV product after row i IS the joint probability of
+//    the top-(i+1) locations (this is what makes large n tractable).
+//  * kNaivePerPrefix: the literal Algorithm 1 loop (one PMVN call per
+//    prefix); O(n) integrations, kept as a test oracle for small n.
+#pragma once
+
+#include <span>
+
+#include "core/pmvn.hpp"
+#include "geo/covgen.hpp"
+#include "linalg/generator.hpp"
+
+namespace parmvn::core {
+
+enum class CrdMode { kDense, kTlr };
+enum class CrdStrategy { kSweep, kNaivePerPrefix };
+
+/// Excursion direction: E+ = {X > u} (the paper's case) or E- = {X < u}
+/// (Bolin & Lindgren's negative excursions, e.g. drought or low-pressure
+/// regions). E- is computed by the exact reflection X < u <=> -X > -u.
+enum class CrdDirection { kAbove, kBelow };
+
+struct CrdOptions {
+  double threshold = 0.0;  // u
+  double alpha = 0.05;     // confidence level 1 - alpha
+  CrdDirection direction = CrdDirection::kAbove;
+  i64 tile = 256;
+  CrdMode mode = CrdMode::kDense;
+  double tlr_tol = 1e-3;   // TLR compression accuracy (paper's sweep values)
+  i64 tlr_max_rank = -1;
+  CrdStrategy strategy = CrdStrategy::kSweep;
+  PmvnOptions pmvn;
+};
+
+struct CrdResult {
+  std::vector<double> marginal;     // pM[i] = P(X_i > u), original indexing
+  std::vector<i64> order;           // opM: locations by descending marginal
+  std::vector<double> prefix_prob;  // joint prob of the top-(i+1) set
+  std::vector<double> confidence;   // F+ per original location (monotone
+                                    // envelope of prefix_prob)
+  std::vector<std::uint8_t> region; // 1 where F+ >= 1 - alpha
+  i64 region_size = 0;
+  double factor_seconds = 0.0;      // Cholesky (dense or TLR) time
+  double sweep_seconds = 0.0;       // PMVN integration time
+};
+
+/// Detect the confidence region for the Gaussian field X ~ N(mean, cov).
+/// `cov` must be symmetric positive definite; it is standardised to a
+/// correlation matrix internally (Algorithm 1 divides by sqrt(Sigma_ii)).
+[[nodiscard]] CrdResult detect_confidence_region(
+    rt::Runtime& rt, const la::MatrixGenerator& cov,
+    std::span<const double> mean, const CrdOptions& opts);
+
+}  // namespace parmvn::core

@@ -1,0 +1,87 @@
+#include "core/mc_validation.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "common/timer.hpp"
+#include "linalg/blas.hpp"
+#include "stats/rng.hpp"
+
+namespace parmvn::core {
+
+i64 region_size_at_level(std::span<const double> prefix_prob, double level) {
+  double running = 1.0;
+  i64 size = 0;
+  for (std::size_t i = 0; i < prefix_prob.size(); ++i) {
+    running = std::min(running, prefix_prob[i]);
+    if (running >= level) {
+      size = static_cast<i64>(i) + 1;
+    } else {
+      break;  // monotone envelope: once below the level it stays below
+    }
+  }
+  return size;
+}
+
+McValidationResult validate_region_mc(la::ConstMatrixView l_ord,
+                                      std::span<const double> a_ord,
+                                      std::span<const double> prefix_prob,
+                                      std::span<const double> levels,
+                                      i64 num_samples, u64 seed) {
+  const WallTimer timer;
+  const i64 n = l_ord.rows;
+  PARMVN_EXPECTS(l_ord.cols == n);
+  PARMVN_EXPECTS(static_cast<i64>(a_ord.size()) == n);
+  PARMVN_EXPECTS(static_cast<i64>(prefix_prob.size()) == n);
+  PARMVN_EXPECTS(num_samples >= 1);
+
+  // Histogram of "first failure index" over samples; cumulative counts then
+  // answer every level at once.
+  std::vector<i64> fail_hist(static_cast<std::size_t>(n + 1), 0);
+
+  constexpr i64 kBatch = 64;
+  la::Matrix x(n, kBatch);
+  stats::Xoshiro256pp g(seed);
+  for (i64 s0 = 0; s0 < num_samples; s0 += kBatch) {
+    const i64 bs = std::min(kBatch, num_samples - s0);
+    for (i64 j = 0; j < bs; ++j)
+      for (i64 i = 0; i < n; ++i) x(i, j) = g.next_normal();
+    la::MatrixView xb = x.sub(0, 0, n, bs);
+    la::trmm_lower_notrans(l_ord, xb);  // only L's lower triangle is valid
+    for (i64 j = 0; j < bs; ++j) {
+      i64 fail = n;  // survives all prefixes
+      for (i64 i = 0; i < n; ++i) {
+        if (xb(i, j) < a_ord[static_cast<std::size_t>(i)]) {
+          fail = i;
+          break;
+        }
+      }
+      ++fail_hist[static_cast<std::size_t>(fail)];
+    }
+  }
+
+  // survivors_at[k] = #samples whose failure index >= k  (i.e. that jointly
+  // exceed the first k ordered locations).
+  std::vector<i64> survivors(static_cast<std::size_t>(n + 1), 0);
+  survivors[static_cast<std::size_t>(n)] = fail_hist[static_cast<std::size_t>(n)];
+  for (i64 k = n - 1; k >= 0; --k)
+    survivors[static_cast<std::size_t>(k)] =
+        survivors[static_cast<std::size_t>(k + 1)] +
+        fail_hist[static_cast<std::size_t>(k)];
+
+  McValidationResult out;
+  out.levels.assign(levels.begin(), levels.end());
+  out.p_hat.resize(levels.size());
+  for (std::size_t li = 0; li < levels.size(); ++li) {
+    const i64 size = region_size_at_level(prefix_prob, levels[li]);
+    out.p_hat[li] = (size == 0)
+                        ? 1.0  // empty region: trivially exceeded
+                        : static_cast<double>(
+                              survivors[static_cast<std::size_t>(size)]) /
+                              static_cast<double>(num_samples);
+  }
+  out.seconds = timer.seconds();
+  return out;
+}
+
+}  // namespace parmvn::core

@@ -1,0 +1,41 @@
+// Monte-Carlo validation of detected confidence regions (paper Section V-C
+// and Fig. 6): draw samples from the fitted field and check that the
+// detected region is jointly exceeded with frequency ~ 1 - alpha.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace parmvn::core {
+
+struct McValidationResult {
+  std::vector<double> levels;  // evaluated 1 - alpha grid
+  std::vector<double> p_hat;   // MC estimate of the joint exceedance prob
+  double seconds = 0.0;
+};
+
+/// @param l_ord       lower Cholesky factor of the (correlation) matrix in
+///                    the same variable order as `a_ord`
+/// @param a_ord       standardized lower limits in that order
+/// @param prefix_prob prefix joint probabilities from the CRD sweep (defines
+///                    the region for each level)
+/// @param levels      the 1-alpha values to validate
+/// @param num_samples MC sample count N
+///
+/// For each sample x = L z, the first index f where x_f < a_f is recorded;
+/// the sample jointly exceeds every prefix shorter than f. p_hat(level) is
+/// then the fraction of samples whose failure index is >= the region size
+/// at that level. One O(n^2) pass per sample, batched through GEMM.
+[[nodiscard]] McValidationResult validate_region_mc(
+    la::ConstMatrixView l_ord, std::span<const double> a_ord,
+    std::span<const double> prefix_prob, std::span<const double> levels,
+    i64 num_samples, u64 seed);
+
+/// Region size (prefix length) whose monotone-envelope probability still
+/// meets `level`; shared by CRD and the validator.
+[[nodiscard]] i64 region_size_at_level(std::span<const double> prefix_prob,
+                                       double level);
+
+}  // namespace parmvn::core

@@ -1,0 +1,52 @@
+#include "core/mvn_mc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/timer.hpp"
+#include "linalg/blas.hpp"
+#include "stats/rng.hpp"
+
+namespace parmvn::core {
+
+MvnMcResult mvn_probability_mc(la::ConstMatrixView l, std::span<const double> a,
+                               std::span<const double> b, i64 num_samples,
+                               u64 seed) {
+  const WallTimer timer;
+  const i64 n = l.rows;
+  PARMVN_EXPECTS(l.cols == n);
+  PARMVN_EXPECTS(static_cast<i64>(a.size()) == n &&
+                 static_cast<i64>(b.size()) == n);
+  PARMVN_EXPECTS(num_samples >= 1);
+
+  constexpr i64 kBatch = 64;
+  la::Matrix x(n, kBatch);
+  stats::Xoshiro256pp g(seed);
+  i64 inside = 0;
+  for (i64 s0 = 0; s0 < num_samples; s0 += kBatch) {
+    const i64 bs = std::min(kBatch, num_samples - s0);
+    for (i64 j = 0; j < bs; ++j)
+      for (i64 i = 0; i < n; ++i) x(i, j) = g.next_normal();
+    la::MatrixView xb = x.sub(0, 0, n, bs);
+    la::trmm_lower_notrans(l, xb);  // only the lower triangle of L is valid
+    for (i64 j = 0; j < bs; ++j) {
+      bool ok = true;
+      for (i64 i = 0; i < n && ok; ++i) {
+        const double v = xb(i, j);
+        ok = (v >= a[static_cast<std::size_t>(i)]) &&
+             (v <= b[static_cast<std::size_t>(i)]);
+      }
+      inside += ok ? 1 : 0;
+    }
+  }
+  MvnMcResult out;
+  out.prob = static_cast<double>(inside) / static_cast<double>(num_samples);
+  out.error3sigma =
+      3.0 * std::sqrt(std::max(out.prob * (1.0 - out.prob), 1e-12) /
+                      static_cast<double>(num_samples));
+  out.seconds = timer.seconds();
+  return out;
+}
+
+}  // namespace parmvn::core

@@ -1,0 +1,35 @@
+// Multivariate Student-t probabilities — the companion problem of the
+// authors' tlrmvnmvt package (Cao et al. 2022), and the natural first
+// extension of the SOV machinery: X = Z / sqrt(W/nu) with Z ~ N(0, Sigma)
+// and W ~ chi^2_nu, so
+//   P(a <= X <= b) = E_W [ Phi_n(a * s, b * s; Sigma) ],  s = sqrt(W/nu).
+// Each MC chain draws its own scaling s and then runs the standard Genz
+// recursion on the scaled limits.
+#pragma once
+
+#include <span>
+
+#include "core/sov.hpp"
+
+namespace parmvn::core {
+
+/// MVT probability given the lower Cholesky factor of the *scale* matrix
+/// Sigma (not the covariance, which is Sigma * nu/(nu-2) for nu > 2).
+/// @param nu degrees of freedom (> 0)
+[[nodiscard]] SovResult mvt_probability_chol(la::ConstMatrixView l, double nu,
+                                             std::span<const double> a,
+                                             std::span<const double> b,
+                                             const SovOptions& opts = {});
+
+/// Convenience: factorises a copy of Sigma internally.
+[[nodiscard]] SovResult mvt_probability(la::ConstMatrixView sigma, double nu,
+                                        std::span<const double> a,
+                                        std::span<const double> b,
+                                        const SovOptions& opts = {});
+
+/// Chi distribution sampling helper exposed for tests: returns
+/// sqrt(chi^2_nu / nu) via the quantile of the gamma distribution evaluated
+/// with Newton iterations on a uniform input (deterministic per (u, nu)).
+[[nodiscard]] double chi_scale_from_uniform(double u, double nu);
+
+}  // namespace parmvn::core

@@ -1,0 +1,61 @@
+#include "core/qmc_kernel.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "stats/normal.hpp"
+
+namespace parmvn::core {
+
+namespace {
+constexpr double kUEps = 1e-16;
+}
+
+void qmc_tile_kernel(la::ConstMatrixView l, const stats::PointSet& pts,
+                     i64 row0, i64 col0, la::ConstMatrixView a,
+                     la::ConstMatrixView b, la::MatrixView y, double* p,
+                     double* prefix_acc) {
+  const i64 m = l.rows;
+  const i64 mc = a.cols;
+  PARMVN_EXPECTS(l.cols == m);
+  PARMVN_EXPECTS(a.rows == m && b.rows == m && y.rows == m);
+  PARMVN_EXPECTS(b.cols == mc && y.cols == mc);
+
+  // Transpose L once so the inner dot product streams a contiguous column
+  // (row i of L becomes column i of lt).
+  la::Matrix lt(m, m);
+  for (i64 i = 0; i < m; ++i)
+    for (i64 k = 0; k <= i; ++k) lt(k, i) = l(i, k);
+
+  for (i64 j = 0; j < mc; ++j) {
+    const i64 sample = col0 + j;
+    double pj = p[j];
+    double* __restrict yj = y.col(j);
+    for (i64 i = 0; i < m; ++i) {
+      const double* __restrict lrow = lt.view().col(i);
+      double s = 0.0;
+      for (i64 k = 0; k < i; ++k) s += lrow[k] * yj[k];
+      const double lii = lrow[i];
+      const double ai = (a(i, j) - s) / lii;
+      const double bi = (b(i, j) - s) / lii;
+      const double phi_a = stats::norm_cdf(ai);
+      const double d = stats::norm_cdf_diff(ai, bi);
+      pj *= d;
+      const double w = pts.value(row0 + i, sample);
+      const double u = std::clamp(phi_a + w * d, kUEps, 1.0 - kUEps);
+      yj[i] = stats::norm_quantile(u);
+      if (prefix_acc != nullptr) prefix_acc[i] += pj;
+    }
+    p[j] = pj;
+  }
+}
+
+double qmc_kernel_flops(i64 m, i64 mc) {
+  // Triangular dot products dominate: mc * m^2 multiply-adds, plus ~60 flops
+  // per entry for Phi / Phi^-1 evaluations.
+  return static_cast<double>(mc) * static_cast<double>(m) *
+             static_cast<double>(m) +
+         60.0 * static_cast<double>(mc) * static_cast<double>(m);
+}
+
+}  // namespace parmvn::core

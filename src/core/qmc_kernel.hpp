@@ -1,0 +1,38 @@
+// The per-tile QMC update of the paper's Algorithm 3: runs m Monte-Carlo
+// chain steps for a block of samples against one diagonal Cholesky tile.
+//
+// Fidelity note (documented in DESIGN.md): the paper's listing writes
+// Y = Phi^-1[R * (Phi(B') - Phi(A'))], dropping the Phi(A') offset; the
+// correct Genz update implemented here is
+//   y = Phi^-1( Phi(a') + w * (Phi(b') - Phi(a')) ).
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "stats/qmc.hpp"
+
+namespace parmvn::core {
+
+/// Process one (tile-row, tile-column) block.
+///
+/// @param l     m x m lower-triangular diagonal Cholesky tile
+/// @param pts   sample set; dimension index = row0 + local row,
+///              sample index = col0 + local column
+/// @param row0  global row (dimension) offset of this tile
+/// @param col0  global sample offset of this tile column
+/// @param a,b   m x mc tiles of transformed lower/upper limits (already
+///              reduced by the GEMM propagation of earlier tile rows)
+/// @param y     m x mc output tile of conditioning values
+/// @param p     mc running per-sample probability products (updated)
+/// @param prefix_acc optional array of length m: prefix_acc[i] accumulates
+///              the sum over this tile's samples of the running product
+///              after global row row0 + i (confidence-function sweep);
+///              pass nullptr when not needed.
+void qmc_tile_kernel(la::ConstMatrixView l, const stats::PointSet& pts,
+                     i64 row0, i64 col0, la::ConstMatrixView a,
+                     la::ConstMatrixView b, la::MatrixView y, double* p,
+                     double* prefix_acc);
+
+/// Flop estimate for one kernel call (for the distributed cost model).
+[[nodiscard]] double qmc_kernel_flops(i64 m, i64 mc);
+
+}  // namespace parmvn::core

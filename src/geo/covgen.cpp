@@ -1,0 +1,63 @@
+#include "geo/covgen.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace parmvn::geo {
+
+KernelCovGenerator::KernelCovGenerator(
+    LocationSet locations, std::shared_ptr<const stats::CovKernel> kernel,
+    double nugget)
+    : locations_(std::move(locations)),
+      kernel_(std::move(kernel)),
+      nugget_(nugget) {
+  PARMVN_EXPECTS(!locations_.empty());
+  PARMVN_EXPECTS(kernel_ != nullptr);
+  PARMVN_EXPECTS(nugget >= 0.0);
+}
+
+double KernelCovGenerator::entry(i64 i, i64 j) const {
+  const double d = distance(locations_[static_cast<std::size_t>(i)],
+                            locations_[static_cast<std::size_t>(j)]);
+  double v = (*kernel_)(d);
+  if (i == j) v += nugget_;
+  return v;
+}
+
+PermutedGenerator::PermutedGenerator(const la::MatrixGenerator& base,
+                                     std::vector<i64> perm)
+    : base_(base), perm_(std::move(perm)) {
+  PARMVN_EXPECTS(base_.rows() == base_.cols());
+  PARMVN_EXPECTS(static_cast<i64>(perm_.size()) <= base_.rows());
+  for (const i64 p : perm_) PARMVN_EXPECTS(p >= 0 && p < base_.rows());
+}
+
+double PermutedGenerator::entry(i64 i, i64 j) const {
+  return base_.entry(perm_[static_cast<std::size_t>(i)],
+                     perm_[static_cast<std::size_t>(j)]);
+}
+
+CorrelationGenerator::CorrelationGenerator(const la::MatrixGenerator& base)
+    : base_(base) {
+  PARMVN_EXPECTS(base.rows() == base.cols());
+  inv_sd_.resize(static_cast<std::size_t>(base.rows()));
+  for (i64 i = 0; i < base.rows(); ++i) {
+    const double var = base.entry(i, i);
+    PARMVN_EXPECTS(var > 0.0);
+    inv_sd_[static_cast<std::size_t>(i)] = 1.0 / std::sqrt(var);
+  }
+}
+
+double CorrelationGenerator::entry(i64 i, i64 j) const {
+  return base_.entry(i, j) * inv_sd_[static_cast<std::size_t>(i)] *
+         inv_sd_[static_cast<std::size_t>(j)];
+}
+
+la::Matrix dense_from_generator(const la::MatrixGenerator& gen) {
+  la::Matrix out(gen.rows(), gen.cols());
+  gen.fill(0, 0, out.view());
+  return out;
+}
+
+}  // namespace parmvn::geo

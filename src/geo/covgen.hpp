@@ -1,0 +1,76 @@
+// Covariance-matrix generators over spatial location sets — the bridge
+// between geometry + kernels (stats) and matrix consumers (tile/TLR/PMVN).
+#pragma once
+
+#include <memory>
+
+#include "geo/geometry.hpp"
+#include "linalg/generator.hpp"
+#include "stats/covariance.hpp"
+
+namespace parmvn::geo {
+
+/// Sigma(i,j) = C(||s_i - s_j||) + nugget * [i == j]. Thread-safe.
+class KernelCovGenerator final : public la::MatrixGenerator {
+ public:
+  KernelCovGenerator(LocationSet locations,
+                     std::shared_ptr<const stats::CovKernel> kernel,
+                     double nugget = 0.0);
+
+  [[nodiscard]] i64 rows() const override {
+    return static_cast<i64>(locations_.size());
+  }
+  [[nodiscard]] i64 cols() const override { return rows(); }
+  [[nodiscard]] double entry(i64 i, i64 j) const override;
+
+  [[nodiscard]] const LocationSet& locations() const noexcept {
+    return locations_;
+  }
+  [[nodiscard]] const stats::CovKernel& kernel() const noexcept {
+    return *kernel_;
+  }
+  [[nodiscard]] double nugget() const noexcept { return nugget_; }
+
+ private:
+  LocationSet locations_;
+  std::shared_ptr<const stats::CovKernel> kernel_;
+  double nugget_;
+};
+
+/// View of another generator with rows/cols re-indexed by a permutation:
+/// entry(i, j) = base(perm[i], perm[j]). Used to reorder the covariance by
+/// descending marginal probability (Algorithm 1, line 6) without copying.
+class PermutedGenerator final : public la::MatrixGenerator {
+ public:
+  PermutedGenerator(const la::MatrixGenerator& base, std::vector<i64> perm);
+
+  [[nodiscard]] i64 rows() const override {
+    return static_cast<i64>(perm_.size());
+  }
+  [[nodiscard]] i64 cols() const override { return rows(); }
+  [[nodiscard]] double entry(i64 i, i64 j) const override;
+
+ private:
+  const la::MatrixGenerator& base_;
+  std::vector<i64> perm_;
+};
+
+/// Normalise a covariance generator into a correlation generator:
+/// entry(i,j) = base(i,j) / sqrt(base(i,i) base(j,j)).
+class CorrelationGenerator final : public la::MatrixGenerator {
+ public:
+  explicit CorrelationGenerator(const la::MatrixGenerator& base);
+
+  [[nodiscard]] i64 rows() const override { return base_.rows(); }
+  [[nodiscard]] i64 cols() const override { return rows(); }
+  [[nodiscard]] double entry(i64 i, i64 j) const override;
+
+ private:
+  const la::MatrixGenerator& base_;
+  std::vector<double> inv_sd_;
+};
+
+/// Materialise any generator into a dense matrix.
+[[nodiscard]] la::Matrix dense_from_generator(const la::MatrixGenerator& gen);
+
+}  // namespace parmvn::geo

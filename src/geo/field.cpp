@@ -1,0 +1,95 @@
+#include "geo/field.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/potrf.hpp"
+#include "linalg/solve.hpp"
+#include "stats/rng.hpp"
+
+namespace parmvn::geo {
+
+GpSampler::GpSampler(const la::MatrixGenerator& gen) {
+  PARMVN_EXPECTS(gen.rows() == gen.cols());
+  l_ = dense_from_generator(gen);
+  la::potrf_lower_or_throw(l_.view());
+  la::zero_strict_upper(l_.view());
+}
+
+std::vector<double> GpSampler::draw(u64 seed) const {
+  const i64 n = l_.rows();
+  stats::Xoshiro256pp g(seed);
+  std::vector<double> z(static_cast<std::size_t>(n));
+  for (double& v : z) v = g.next_normal();
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  la::gemv(la::Trans::kNo, 1.0, l_.view(), z.data(), 0.0, x.data());
+  return x;
+}
+
+Posterior posterior_from_observations(const la::Matrix& prior_cov,
+                                      const std::vector<double>& prior_mean,
+                                      const std::vector<i64>& observed,
+                                      const std::vector<double>& y,
+                                      double tau2) {
+  const i64 n = prior_cov.rows();
+  PARMVN_EXPECTS(prior_cov.cols() == n);
+  PARMVN_EXPECTS(static_cast<i64>(prior_mean.size()) == n);
+  PARMVN_EXPECTS(observed.size() == y.size());
+  PARMVN_EXPECTS(tau2 > 0.0);
+
+  // Sigma_post = (Sigma^-1 + D)^-1 with D = (1/tau2) * diag(indicator).
+  Posterior post;
+  post.covariance = la::to_matrix(prior_cov.view());
+  la::spd_inverse(post.covariance.view());
+  for (const i64 idx : observed) {
+    PARMVN_EXPECTS(idx >= 0 && idx < n);
+    post.covariance(idx, idx) += 1.0 / tau2;
+  }
+  la::spd_inverse(post.covariance.view());
+
+  // mu_post = mu + (1/tau2) Sigma_post A^T (y - A mu).
+  std::vector<double> residual(static_cast<std::size_t>(n), 0.0);
+  for (std::size_t k = 0; k < observed.size(); ++k) {
+    const i64 idx = observed[k];
+    residual[static_cast<std::size_t>(idx)] =
+        (y[k] - prior_mean[static_cast<std::size_t>(idx)]) / tau2;
+  }
+  post.mean = prior_mean;
+  la::gemv(la::Trans::kNo, 1.0, post.covariance.view(), residual.data(), 1.0,
+           post.mean.data());
+  return post;
+}
+
+FieldMoments field_moments(const la::Matrix& series) {
+  const i64 n = series.rows();
+  const i64 t = series.cols();
+  PARMVN_EXPECTS(t >= 2);
+  FieldMoments m;
+  m.mean.assign(static_cast<std::size_t>(n), 0.0);
+  m.sd.assign(static_cast<std::size_t>(n), 0.0);
+  for (i64 j = 0; j < t; ++j)
+    for (i64 i = 0; i < n; ++i)
+      m.mean[static_cast<std::size_t>(i)] += series(i, j);
+  for (double& v : m.mean) v /= static_cast<double>(t);
+  for (i64 j = 0; j < t; ++j)
+    for (i64 i = 0; i < n; ++i) {
+      const double d = series(i, j) - m.mean[static_cast<std::size_t>(i)];
+      m.sd[static_cast<std::size_t>(i)] += d * d;
+    }
+  for (double& v : m.sd) v = std::sqrt(v / static_cast<double>(t - 1));
+  return m;
+}
+
+std::vector<double> standardize(const std::vector<double>& x,
+                                const FieldMoments& moments) {
+  PARMVN_EXPECTS(x.size() == moments.mean.size());
+  std::vector<double> z(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    PARMVN_EXPECTS(moments.sd[i] > 0.0);
+    z[i] = (x[i] - moments.mean[i]) / moments.sd[i];
+  }
+  return z;
+}
+
+}  // namespace parmvn::geo

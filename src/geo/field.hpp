@@ -1,0 +1,54 @@
+// Gaussian random field simulation and the posterior update of the paper's
+// synthetic experiments (Section V-B, equations 7-8).
+#pragma once
+
+#include <vector>
+
+#include "geo/covgen.hpp"
+#include "linalg/matrix.hpp"
+
+namespace parmvn::geo {
+
+/// One exact draw of a zero-mean GP with covariance `gen` (dense Cholesky
+/// sampling; O(n^3) once, O(n^2) per draw via the returned factor).
+class GpSampler {
+ public:
+  explicit GpSampler(const la::MatrixGenerator& gen);
+
+  /// x = L z, z ~ N(0, I).
+  [[nodiscard]] std::vector<double> draw(u64 seed) const;
+
+  [[nodiscard]] const la::Matrix& chol() const noexcept { return l_; }
+
+ private:
+  la::Matrix l_;
+};
+
+/// Posterior of x | y where y = A x + eps, eps ~ N(0, tau2 I), and A selects
+/// `observed` indices (the paper's indicator matrix; eq. 7-8):
+///   Sigma_post = (Sigma^-1 + (1/tau2) A^T A)^-1
+///   mu_post    = mu + (1/tau2) Sigma_post A^T (y - A mu)
+struct Posterior {
+  la::Matrix covariance;
+  std::vector<double> mean;
+};
+
+[[nodiscard]] Posterior posterior_from_observations(
+    const la::Matrix& prior_cov, const std::vector<double>& prior_mean,
+    const std::vector<i64>& observed, const std::vector<double>& y,
+    double tau2);
+
+/// Mean and standard deviation per location over a time series stored as
+/// column-major (n x t).
+struct FieldMoments {
+  std::vector<double> mean;
+  std::vector<double> sd;
+};
+
+[[nodiscard]] FieldMoments field_moments(const la::Matrix& series);
+
+/// (x - mean) / sd element-wise.
+[[nodiscard]] std::vector<double> standardize(const std::vector<double>& x,
+                                              const FieldMoments& moments);
+
+}  // namespace parmvn::geo

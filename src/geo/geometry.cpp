@@ -1,0 +1,125 @@
+#include "geo/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/contracts.hpp"
+#include "stats/rng.hpp"
+
+namespace parmvn::geo {
+
+double distance(const Point& a, const Point& b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+LocationSet regular_grid(i64 nx, i64 ny) {
+  PARMVN_EXPECTS(nx >= 1 && ny >= 1);
+  LocationSet pts;
+  pts.reserve(static_cast<std::size_t>(nx * ny));
+  for (i64 iy = 0; iy < ny; ++iy)
+    for (i64 ix = 0; ix < nx; ++ix)
+      pts.push_back({(static_cast<double>(ix) + 0.5) / static_cast<double>(nx),
+                     (static_cast<double>(iy) + 0.5) / static_cast<double>(ny)});
+  return pts;
+}
+
+LocationSet jittered_grid(i64 nx, i64 ny, double jitter, u64 seed) {
+  PARMVN_EXPECTS(jitter >= 0.0 && jitter <= 0.5);
+  LocationSet pts = regular_grid(nx, ny);
+  stats::Xoshiro256pp g(seed);
+  const double cell_x = 1.0 / static_cast<double>(nx);
+  const double cell_y = 1.0 / static_cast<double>(ny);
+  for (Point& p : pts) {
+    p.x += (2.0 * g.next_u01() - 1.0) * jitter * cell_x;
+    p.y += (2.0 * g.next_u01() - 1.0) * jitter * cell_y;
+  }
+  return pts;
+}
+
+LocationSet uniform_random(i64 n, u64 seed) {
+  PARMVN_EXPECTS(n >= 1);
+  stats::Xoshiro256pp g(seed);
+  LocationSet pts(static_cast<std::size_t>(n));
+  for (Point& p : pts) {
+    p.x = g.next_u01();
+    p.y = g.next_u01();
+  }
+  return pts;
+}
+
+void scale_to_box(LocationSet& points, double x0, double x1, double y0,
+                  double y1) {
+  PARMVN_EXPECTS(x1 > x0 && y1 > y0);
+  if (points.empty()) return;
+  double minx = std::numeric_limits<double>::infinity(), maxx = -minx;
+  double miny = minx, maxy = -minx;
+  for (const Point& p : points) {
+    minx = std::min(minx, p.x);
+    maxx = std::max(maxx, p.x);
+    miny = std::min(miny, p.y);
+    maxy = std::max(maxy, p.y);
+  }
+  const double sx = (maxx > minx) ? (x1 - x0) / (maxx - minx) : 0.0;
+  const double sy = (maxy > miny) ? (y1 - y0) / (maxy - miny) : 0.0;
+  for (Point& p : points) {
+    p.x = x0 + (p.x - minx) * sx;
+    p.y = y0 + (p.y - miny) * sy;
+  }
+}
+
+namespace {
+
+// Interleave the low 32 bits of x and y into a 64-bit Morton key.
+u64 morton_key(u64 x, u64 y) {
+  auto spread = [](u64 v) {
+    v &= 0xffffffffULL;
+    v = (v | (v << 16)) & 0x0000ffff0000ffffULL;
+    v = (v | (v << 8)) & 0x00ff00ff00ff00ffULL;
+    v = (v | (v << 4)) & 0x0f0f0f0f0f0f0f0fULL;
+    v = (v | (v << 2)) & 0x3333333333333333ULL;
+    v = (v | (v << 1)) & 0x5555555555555555ULL;
+    return v;
+  };
+  return spread(x) | (spread(y) << 1);
+}
+
+}  // namespace
+
+std::vector<i64> morton_order(const LocationSet& points) {
+  double minx = std::numeric_limits<double>::infinity(), maxx = -minx;
+  double miny = minx, maxy = -minx;
+  for (const Point& p : points) {
+    minx = std::min(minx, p.x);
+    maxx = std::max(maxx, p.x);
+    miny = std::min(miny, p.y);
+    maxy = std::max(maxy, p.y);
+  }
+  const double sx = (maxx > minx) ? 1.0 / (maxx - minx) : 0.0;
+  const double sy = (maxy > miny) ? 1.0 / (maxy - miny) : 0.0;
+  constexpr double kCells = 4294967295.0;  // 2^32 - 1
+
+  std::vector<std::pair<u64, i64>> keyed;
+  keyed.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const u64 gx = static_cast<u64>((points[i].x - minx) * sx * kCells);
+    const u64 gy = static_cast<u64>((points[i].y - miny) * sy * kCells);
+    keyed.emplace_back(morton_key(gx, gy), static_cast<i64>(i));
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<i64> perm;
+  perm.reserve(points.size());
+  for (const auto& [key, idx] : keyed) perm.push_back(idx);
+  return perm;
+}
+
+std::vector<i64> invert_permutation(const std::vector<i64>& perm) {
+  std::vector<i64> inv(perm.size());
+  for (std::size_t k = 0; k < perm.size(); ++k)
+    inv[static_cast<std::size_t>(perm[k])] = static_cast<i64>(k);
+  return inv;
+}
+
+}  // namespace parmvn::geo

@@ -1,0 +1,57 @@
+// Spatial location sets and orderings.
+//
+// TLR compressibility depends on spatial locality of the index ordering:
+// points are sorted along a Morton (Z-order) curve so that any contiguous
+// index range is a spatially compact cluster and off-diagonal covariance
+// tiles decay in rank (the STARS-H convention the paper inherits).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace parmvn::geo {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+using LocationSet = std::vector<Point>;
+
+/// Euclidean distance.
+[[nodiscard]] double distance(const Point& a, const Point& b) noexcept;
+
+/// nx * ny regular grid on [0,1]^2 (cell-centered).
+[[nodiscard]] LocationSet regular_grid(i64 nx, i64 ny);
+
+/// Regular grid with uniform jitter of +-jitter*cell inside each cell
+/// (ExaGeoStat's irregular-location generator).
+[[nodiscard]] LocationSet jittered_grid(i64 nx, i64 ny, double jitter,
+                                        u64 seed);
+
+/// n i.i.d. uniform points on [0,1]^2.
+[[nodiscard]] LocationSet uniform_random(i64 n, u64 seed);
+
+/// Affine-map points into [x0,x1] x [y0,y1].
+void scale_to_box(LocationSet& points, double x0, double x1, double y0,
+                  double y1);
+
+/// Permutation that sorts points along a Morton (Z-order) curve over the
+/// bounding box; perm[k] = index of the k-th point in Morton order.
+[[nodiscard]] std::vector<i64> morton_order(const LocationSet& points);
+
+/// points_out[k] = points[perm[k]] (works for any value vector).
+template <class T>
+[[nodiscard]] std::vector<T> apply_permutation(const std::vector<T>& values,
+                                               const std::vector<i64>& perm) {
+  std::vector<T> out;
+  out.reserve(values.size());
+  for (const i64 idx : perm) out.push_back(values[static_cast<std::size_t>(idx)]);
+  return out;
+}
+
+/// Inverse permutation: inv[perm[k]] = k.
+[[nodiscard]] std::vector<i64> invert_permutation(const std::vector<i64>& perm);
+
+}  // namespace parmvn::geo

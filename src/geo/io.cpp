@@ -1,0 +1,109 @@
+#include "geo/io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace parmvn::geo {
+
+void write_field_csv(const std::string& path, const LocationSet& locations,
+                     const std::vector<double>& values) {
+  PARMVN_EXPECTS(locations.size() == values.size());
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open for write: " + path);
+  out << "x,y,value\n";
+  out.precision(17);
+  for (std::size_t i = 0; i < locations.size(); ++i) {
+    out << locations[i].x << ',' << locations[i].y << ',' << values[i] << '\n';
+  }
+}
+
+FieldCsv read_field_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open for read: " + path);
+  FieldCsv data;
+  std::string line;
+  if (!std::getline(in, line)) throw Error("empty csv: " + path);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    std::string fx, fy, fv;
+    if (!std::getline(ss, fx, ',') || !std::getline(ss, fy, ',') ||
+        !std::getline(ss, fv, ',')) {
+      throw Error("malformed csv row: " + line);
+    }
+    data.locations.push_back({std::stod(fx), std::stod(fy)});
+    data.values.push_back(std::stod(fv));
+  }
+  return data;
+}
+
+std::string ascii_heatmap(const LocationSet& locations,
+                          const std::vector<double>& values, int width,
+                          int height, double vmin, double vmax) {
+  PARMVN_EXPECTS(locations.size() == values.size());
+  PARMVN_EXPECTS(!locations.empty());
+  PARMVN_EXPECTS(width >= 2 && height >= 2);
+  static const char kRamp[] = " .:-=+*#%@";
+  constexpr int kLevels = 10;
+
+  if (vmin >= vmax) {
+    vmin = std::numeric_limits<double>::infinity();
+    vmax = -vmin;
+    for (const double v : values) {
+      vmin = std::min(vmin, v);
+      vmax = std::max(vmax, v);
+    }
+    if (vmax <= vmin) vmax = vmin + 1.0;
+  }
+
+  double minx = std::numeric_limits<double>::infinity(), maxx = -minx;
+  double miny = minx, maxy = -minx;
+  for (const Point& p : locations) {
+    minx = std::min(minx, p.x);
+    maxx = std::max(maxx, p.x);
+    miny = std::min(miny, p.y);
+    maxy = std::max(maxy, p.y);
+  }
+  const double dx = (maxx > minx) ? (maxx - minx) : 1.0;
+  const double dy = (maxy > miny) ? (maxy - miny) : 1.0;
+
+  // Nearest-sample-per-cell via accumulation: average all points landing in
+  // a cell; cells with no points inherit the previous column's shade.
+  std::vector<double> sum(static_cast<std::size_t>(width * height), 0.0);
+  std::vector<int> count(static_cast<std::size_t>(width * height), 0);
+  for (std::size_t i = 0; i < locations.size(); ++i) {
+    int cx = static_cast<int>((locations[i].x - minx) / dx * (width - 1) + 0.5);
+    int cy = static_cast<int>((locations[i].y - miny) / dy * (height - 1) + 0.5);
+    cx = std::clamp(cx, 0, width - 1);
+    cy = std::clamp(cy, 0, height - 1);
+    sum[static_cast<std::size_t>(cy * width + cx)] += values[i];
+    count[static_cast<std::size_t>(cy * width + cx)] += 1;
+  }
+
+  std::string out;
+  out.reserve(static_cast<std::size_t>((width + 1) * height));
+  for (int row = height - 1; row >= 0; --row) {  // north on top
+    char prev = ' ';
+    for (int col = 0; col < width; ++col) {
+      const std::size_t cell = static_cast<std::size_t>(row * width + col);
+      char c = prev;
+      if (count[cell] > 0) {
+        const double v = sum[cell] / count[cell];
+        int level = static_cast<int>((v - vmin) / (vmax - vmin) * kLevels);
+        level = std::clamp(level, 0, kLevels - 1);
+        c = kRamp[level];
+      }
+      out.push_back(c);
+      prev = c;
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace parmvn::geo

@@ -1,0 +1,31 @@
+// CSV field I/O and a terminal heat-map renderer used by the examples and
+// benches to "plot" the paper's map figures as ASCII art.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/geometry.hpp"
+
+namespace parmvn::geo {
+
+/// Write "x,y,value" rows (with header) for one scalar field.
+void write_field_csv(const std::string& path, const LocationSet& locations,
+                     const std::vector<double>& values);
+
+/// Read back a field written by write_field_csv.
+struct FieldCsv {
+  LocationSet locations;
+  std::vector<double> values;
+};
+[[nodiscard]] FieldCsv read_field_csv(const std::string& path);
+
+/// Render a scalar field on a width x height character grid: values are
+/// binned to the shade ramp " .:-=+*#%@" between vmin and vmax (pass
+/// vmin >= vmax to auto-scale). Nearest-point sampling.
+[[nodiscard]] std::string ascii_heatmap(const LocationSet& locations,
+                                        const std::vector<double>& values,
+                                        int width, int height,
+                                        double vmin = 1.0, double vmax = -1.0);
+
+}  // namespace parmvn::geo

@@ -1,0 +1,79 @@
+#include "geo/wind.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "common/contracts.hpp"
+#include "stats/covariance.hpp"
+#include "stats/rng.hpp"
+
+namespace parmvn::geo {
+
+double wind_mean_speed(double ux, double uy) {
+  auto bump = [](double x, double y, double cx, double cy, double sx,
+                 double sy) {
+    const double dx = (x - cx) / sx;
+    const double dy = (y - cy) / sy;
+    return std::exp(-0.5 * (dx * dx + dy * dy));
+  };
+  // Ridges loosely following the paper's Fig. 2a hot spots: the north-west
+  // highlands, the eastern plateau and the south-western Asir mountains.
+  double speed = 3.2;
+  speed += 4.5 * bump(ux, uy, 0.25, 0.85, 0.18, 0.12);  // north-west
+  speed += 3.5 * bump(ux, uy, 0.85, 0.55, 0.12, 0.20);  // east
+  speed += 4.0 * bump(ux, uy, 0.15, 0.15, 0.10, 0.14);  // south-west (Asir)
+  speed += 1.2 * std::sin(3.0 * ux) * std::cos(2.0 * uy);
+  return speed;
+}
+
+WindDataset simulate_wind(const WindOptions& opts) {
+  PARMVN_EXPECTS(opts.grid_nx >= 2 && opts.grid_ny >= 2);
+  PARMVN_EXPECTS(opts.num_days >= 2);
+
+  WindDataset data;
+  // Unit-square grid used for all covariance math; lon/lat copy for maps.
+  LocationSet unit = regular_grid(opts.grid_nx, opts.grid_ny);
+  data.locations = unit;
+  scale_to_box(data.locations, 34.0, 56.0, 16.0, 32.0);
+
+  const i64 n = static_cast<i64>(unit.size());
+  data.mean_field.resize(static_cast<std::size_t>(n));
+  for (i64 i = 0; i < n; ++i)
+    data.mean_field[static_cast<std::size_t>(i)] =
+        wind_mean_speed(unit[static_cast<std::size_t>(i)].x,
+                        unit[static_cast<std::size_t>(i)].y);
+
+  // Day-to-day anomalies: exact GP draws with the paper-flavoured Matern.
+  auto kernel = std::make_shared<stats::MaternKernel>(
+      opts.gp_sigma2, opts.gp_range, opts.gp_smoothness);
+  KernelCovGenerator gen(unit, kernel, /*nugget=*/1e-8);
+  GpSampler sampler(gen);
+
+  data.daily_speed = la::Matrix(n, opts.num_days);
+  stats::Xoshiro256pp seeder(opts.seed);
+  for (i64 day = 0; day < opts.num_days; ++day) {
+    const std::vector<double> anomaly = sampler.draw(seeder.next());
+    // Mild seasonal modulation across the window + small observation noise.
+    const double season =
+        0.6 * std::sin(2.0 * M_PI * static_cast<double>(day) /
+                       static_cast<double>(opts.num_days));
+    stats::Xoshiro256pp noise(seeder.next());
+    for (i64 i = 0; i < n; ++i) {
+      double v = data.mean_field[static_cast<std::size_t>(i)] + season +
+                 anomaly[static_cast<std::size_t>(i)] +
+                 0.15 * noise.next_normal();
+      if (v < 0.0) v = 0.0;  // physical floor
+      data.daily_speed(i, day) = v;
+    }
+  }
+
+  data.target_day = opts.num_days / 2;
+  data.moments = field_moments(data.daily_speed);
+  std::vector<double> target(static_cast<std::size_t>(n));
+  for (i64 i = 0; i < n; ++i) target[static_cast<std::size_t>(i)] =
+      data.daily_speed(i, data.target_day);
+  data.target_standardized = standardize(target, data.moments);
+  return data;
+}
+
+}  // namespace parmvn::geo

@@ -1,0 +1,57 @@
+// Dense BLAS-style kernels (the library's MKL substitute).
+//
+// Only the operations the tile/TLR/PMVN algorithms need are implemented:
+// lower-triangular variants throughout (Cholesky-world). All kernels are
+// sequential; parallelism lives one level up, in the task runtime.
+#pragma once
+
+#include "common/types.hpp"
+#include "linalg/matrix.hpp"
+
+namespace parmvn::la {
+
+enum class Trans { kNo, kYes };
+enum class Side { kLeft, kRight };
+
+/// C = alpha * op(A) * op(B) + beta * C.
+void gemm(Trans trans_a, Trans trans_b, double alpha, ConstMatrixView a,
+          ConstMatrixView b, double beta, MatrixView c);
+
+/// Lower triangle of C = alpha * op(A) * op(A)^T + beta * C.
+/// op(A)=A for kNo (C: m x m, A: m x k), op(A)=A^T for kYes (C: k x k).
+/// Strictly-upper entries of C are not referenced or written.
+void syrk(Trans trans, double alpha, ConstMatrixView a, double beta,
+          MatrixView c);
+
+/// Triangular solve with a lower-triangular non-unit L:
+///   kLeft,  kNo : B <- alpha * L^-1  B
+///   kLeft,  kYes: B <- alpha * L^-T  B
+///   kRight, kNo : B <- alpha * B L^-1
+///   kRight, kYes: B <- alpha * B L^-T
+void trsm(Side side, Trans trans, double alpha, ConstMatrixView l,
+          MatrixView b);
+
+/// y = alpha * op(A) x + beta * y.
+void gemv(Trans trans, double alpha, ConstMatrixView a, const double* x,
+          double beta, double* y);
+
+/// B <- L B in place, referencing only the lower triangle of L (the strict
+/// upper part may hold garbage, e.g. untouched input after potrf_lower).
+void trmm_lower_notrans(ConstMatrixView l, MatrixView b);
+
+/// Dot product of n-vectors.
+[[nodiscard]] double dot(i64 n, const double* x, const double* y) noexcept;
+
+/// y += alpha * x.
+void axpy(i64 n, double alpha, const double* x, double* y) noexcept;
+
+/// Frobenius norm.
+[[nodiscard]] double frobenius_norm(ConstMatrixView a) noexcept;
+
+/// max |a_ij|.
+[[nodiscard]] double max_abs(ConstMatrixView a) noexcept;
+
+/// ||A - B||_F over equally shaped views.
+[[nodiscard]] double frobenius_diff(ConstMatrixView a, ConstMatrixView b);
+
+}  // namespace parmvn::la

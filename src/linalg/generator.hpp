@@ -1,0 +1,49 @@
+// Entry-wise matrix generator interface.
+//
+// Large covariance matrices are never materialised wholesale: tile and TLR
+// code pull individual blocks out of a generator (the role STARS-H plays for
+// HiCMA). Implementations must be thread-safe for concurrent fill() calls —
+// tiles are generated from parallel runtime tasks.
+#pragma once
+
+#include "common/types.hpp"
+#include "linalg/matrix.hpp"
+
+namespace parmvn::la {
+
+class MatrixGenerator {
+ public:
+  virtual ~MatrixGenerator() = default;
+
+  [[nodiscard]] virtual i64 rows() const = 0;
+  [[nodiscard]] virtual i64 cols() const = 0;
+
+  /// Value of entry (i, j) of the full matrix.
+  [[nodiscard]] virtual double entry(i64 i, i64 j) const = 0;
+
+  /// Fill `out` with the block whose top-left corner is (row0, col0).
+  /// Default implementation loops over entry(); override when a faster bulk
+  /// path exists.
+  virtual void fill(i64 row0, i64 col0, MatrixView out) const {
+    PARMVN_EXPECTS(row0 >= 0 && col0 >= 0);
+    PARMVN_EXPECTS(row0 + out.rows <= rows() && col0 + out.cols <= cols());
+    for (i64 j = 0; j < out.cols; ++j)
+      for (i64 i = 0; i < out.rows; ++i)
+        out(i, j) = entry(row0 + i, col0 + j);
+  }
+};
+
+/// Generator over an explicit dense matrix (tests, small problems).
+class DenseGenerator final : public MatrixGenerator {
+ public:
+  explicit DenseGenerator(Matrix m) : m_(std::move(m)) {}
+
+  [[nodiscard]] i64 rows() const override { return m_.rows(); }
+  [[nodiscard]] i64 cols() const override { return m_.cols(); }
+  [[nodiscard]] double entry(i64 i, i64 j) const override { return m_(i, j); }
+
+ private:
+  Matrix m_;
+};
+
+}  // namespace parmvn::la

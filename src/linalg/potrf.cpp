@@ -1,0 +1,74 @@
+#include "linalg/potrf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "linalg/blas.hpp"
+
+namespace parmvn::la {
+
+namespace {
+
+// Left-looking unblocked Cholesky on a panel; column-oriented so all inner
+// loops stream down contiguous columns.
+i64 potrf_unblocked(MatrixView a) {
+  const i64 n = a.rows;
+  for (i64 j = 0; j < n; ++j) {
+    double* __restrict aj = a.col(j);
+    for (i64 k = 0; k < j; ++k) {
+      const double ajk = a(j, k);
+      if (ajk == 0.0) continue;
+      const double* __restrict ak = a.col(k);
+      for (i64 i = j; i < n; ++i) aj[i] -= ajk * ak[i];
+    }
+    const double diag = aj[j];
+    if (!(diag > 0.0) || !std::isfinite(diag)) return j + 1;
+    const double root = std::sqrt(diag);
+    aj[j] = root;
+    const double inv = 1.0 / root;
+    for (i64 i = j + 1; i < n; ++i) aj[i] *= inv;
+  }
+  return 0;
+}
+
+constexpr i64 kPotrfBlock = 128;
+
+}  // namespace
+
+i64 potrf_lower(MatrixView a) {
+  PARMVN_EXPECTS(a.rows == a.cols);
+  const i64 n = a.rows;
+  for (i64 k0 = 0; k0 < n; k0 += kPotrfBlock) {
+    const i64 kb = std::min(kPotrfBlock, n - k0);
+    const i64 info = potrf_unblocked(a.sub(k0, k0, kb, kb));
+    if (info != 0) return k0 + info;
+    const i64 rest = n - k0 - kb;
+    if (rest == 0) continue;
+    // Panel solve: A(k+1:, k) <- A(k+1:, k) * L_kk^-T
+    trsm(Side::kRight, Trans::kYes, 1.0, a.sub(k0, k0, kb, kb),
+         a.sub(k0 + kb, k0, rest, kb));
+    // Trailing update: A(k+1:, k+1:) -= A(k+1:, k) A(k+1:, k)^T (lower).
+    syrk(Trans::kNo, -1.0, a.sub(k0 + kb, k0, rest, kb), 1.0,
+         a.sub(k0 + kb, k0 + kb, rest, rest));
+  }
+  return 0;
+}
+
+void potrf_lower_or_throw(MatrixView a) {
+  const i64 info = potrf_lower(a);
+  if (info != 0) {
+    throw Error("potrf: matrix not positive definite (pivot " +
+                std::to_string(info) + " of " + std::to_string(a.rows) + ")");
+  }
+}
+
+void zero_strict_upper(MatrixView a) {
+  for (i64 j = 1; j < a.cols; ++j) {
+    const i64 top = std::min(j, a.rows);
+    double* aj = a.col(j);
+    std::fill(aj, aj + top, 0.0);
+  }
+}
+
+}  // namespace parmvn::la

@@ -1,0 +1,22 @@
+// Cholesky factorization (lower) — the O(n^3) heart of the SOV algorithm.
+#pragma once
+
+#include "common/types.hpp"
+#include "linalg/matrix.hpp"
+
+namespace parmvn::la {
+
+/// In-place lower Cholesky A = L L^T. Only the lower triangle of `a` is
+/// referenced; on success the lower triangle holds L (strictly-upper part is
+/// left untouched). Returns 0 on success, or the 1-based index of the first
+/// non-positive pivot (matching LAPACK dpotrf's `info`).
+[[nodiscard]] i64 potrf_lower(MatrixView a);
+
+/// Throwing wrapper around potrf_lower.
+void potrf_lower_or_throw(MatrixView a);
+
+/// Zero the strictly-upper triangle (useful after potrf when a clean L is
+/// wanted for GEMM-based reconstruction checks).
+void zero_strict_upper(MatrixView a);
+
+}  // namespace parmvn::la

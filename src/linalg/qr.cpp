@@ -1,0 +1,180 @@
+#include "linalg/qr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "linalg/blas.hpp"
+
+namespace parmvn::la {
+
+namespace {
+
+// Generate a Householder reflector for x = (alpha, rest...) of length len:
+// H x = (beta, 0...). Returns tau; x is overwritten with v (v[0]=1 implied,
+// stored from index 1) and x[0] = beta.
+double make_reflector(double* x, i64 len) {
+  if (len <= 1) return 0.0;
+  double xnorm = 0.0;
+  for (i64 i = 1; i < len; ++i) xnorm += x[i] * x[i];
+  if (xnorm == 0.0) return 0.0;
+  const double alpha = x[0];
+  double beta = -std::copysign(std::sqrt(alpha * alpha + xnorm), alpha);
+  const double tau = (beta - alpha) / beta;
+  const double inv = 1.0 / (alpha - beta);
+  for (i64 i = 1; i < len; ++i) x[i] *= inv;
+  x[0] = beta;
+  return tau;
+}
+
+// Apply H = I - tau v v^T (v packed under column j of `a`, v0 = 1) to the
+// trailing columns a(j:, j+1:).
+void apply_reflector(MatrixView a, i64 j, double tau) {
+  const i64 m = a.rows;
+  if (tau == 0.0) return;
+  const double* __restrict v = a.col(j) + j;  // v[0] is beta; treat as 1
+  for (i64 c = j + 1; c < a.cols; ++c) {
+    double* __restrict col = a.col(c) + j;
+    double s = col[0];
+    for (i64 i = 1; i < m - j; ++i) s += v[i] * col[i];
+    s *= tau;
+    col[0] -= s;
+    for (i64 i = 1; i < m - j; ++i) col[i] -= s * v[i];
+  }
+}
+
+}  // namespace
+
+void householder_qr(MatrixView a, std::vector<double>& tau) {
+  const i64 k = std::min(a.rows, a.cols);
+  tau.assign(static_cast<std::size_t>(k), 0.0);
+  for (i64 j = 0; j < k; ++j) {
+    tau[static_cast<std::size_t>(j)] = make_reflector(a.col(j) + j, a.rows - j);
+    apply_reflector(a, j, tau[static_cast<std::size_t>(j)]);
+  }
+}
+
+Matrix form_q_thin(ConstMatrixView qr, const std::vector<double>& tau, i64 k) {
+  const i64 m = qr.rows;
+  const i64 kv = std::min<i64>(static_cast<i64>(tau.size()), std::min(m, qr.cols));
+  PARMVN_EXPECTS(k >= 0 && k <= kv);
+  Matrix q(m, k);
+  for (i64 j = 0; j < k; ++j) q(j, j) = 1.0;
+  // Accumulate Q = H_0 H_1 ... H_{kv-1} * E_k by applying reflectors in
+  // reverse order.
+  for (i64 j = kv - 1; j >= 0; --j) {
+    const double tj = tau[static_cast<std::size_t>(j)];
+    if (tj == 0.0) continue;
+    const double* v = qr.col(j) + j;  // v0 implied 1
+    for (i64 c = 0; c < k; ++c) {
+      double* col = q.view().col(c) + j;
+      double s = col[0];
+      for (i64 i = 1; i < m - j; ++i) s += v[i] * col[i];
+      s *= tj;
+      col[0] -= s;
+      for (i64 i = 1; i < m - j; ++i) col[i] -= s * v[i];
+    }
+  }
+  return q;
+}
+
+RrqrResult rrqr_truncated(ConstMatrixView a, double tol_fro, i64 max_rank,
+                          double tol_pivot, double tol_pivot_rel) {
+  const i64 m = a.rows;
+  const i64 n = a.cols;
+  const i64 kmax = std::min(m, n);
+  const i64 limit = (max_rank < 0) ? kmax : std::min(max_rank, kmax);
+
+  Matrix work = to_matrix(a);
+  MatrixView w = work.view();
+  std::vector<i64> perm(static_cast<std::size_t>(n));
+  for (i64 j = 0; j < n; ++j) perm[static_cast<std::size_t>(j)] = j;
+  std::vector<double> colsq(static_cast<std::size_t>(n));
+  double residual_sq = 0.0;
+  for (i64 j = 0; j < n; ++j) {
+    double s = 0.0;
+    const double* cj = w.col(j);
+    for (i64 i = 0; i < m; ++i) s += cj[i] * cj[i];
+    colsq[static_cast<std::size_t>(j)] = s;
+    residual_sq += s;
+  }
+
+  std::vector<double> tau;
+  tau.reserve(static_cast<std::size_t>(limit));
+  const double tol_sq = tol_fro * tol_fro;
+  i64 rank = 0;
+
+  double tol_pivot_sq = tol_pivot * tol_pivot;
+  while (rank < limit && residual_sq > tol_sq) {
+    // Pivot: bring the column with the largest remaining mass to position
+    // `rank`.
+    i64 pivot = rank;
+    for (i64 j = rank + 1; j < n; ++j) {
+      if (colsq[static_cast<std::size_t>(j)] >
+          colsq[static_cast<std::size_t>(pivot)])
+        pivot = j;
+    }
+    if (rank == 0 && tol_pivot_rel > 0.0) {
+      // Anchor the relative threshold to the leading pivot's scale.
+      const double anchor_sq = colsq[static_cast<std::size_t>(pivot)] *
+                               tol_pivot_rel * tol_pivot_rel;
+      tol_pivot_sq = std::max(tol_pivot_sq, anchor_sq);
+    }
+    if (tol_pivot_sq > 0.0 && rank > 0 &&
+        colsq[static_cast<std::size_t>(pivot)] <= tol_pivot_sq)
+      break;
+    if (pivot != rank) {
+      for (i64 i = 0; i < m; ++i) std::swap(w(i, rank), w(i, pivot));
+      std::swap(colsq[static_cast<std::size_t>(rank)],
+                colsq[static_cast<std::size_t>(pivot)]);
+      std::swap(perm[static_cast<std::size_t>(rank)],
+                perm[static_cast<std::size_t>(pivot)]);
+    }
+
+    const double t = make_reflector(w.col(rank) + rank, m - rank);
+    tau.push_back(t);
+    apply_reflector(w, rank, t);
+
+    // Downdate the trailing column masses and the residual with the newly
+    // exposed row of R. Recompute from scratch when cancellation bites.
+    residual_sq = 0.0;
+    for (i64 j = rank + 1; j < n; ++j) {
+      const double rkj = w(rank, j);
+      double cj = colsq[static_cast<std::size_t>(j)] - rkj * rkj;
+      if (cj < 1e-12 * colsq[static_cast<std::size_t>(j)]) {
+        // Recompute the remaining part of the column exactly.
+        cj = 0.0;
+        const double* col = w.col(j);
+        for (i64 i = rank + 1; i < m; ++i) cj += col[i] * col[i];
+      }
+      colsq[static_cast<std::size_t>(j)] = cj;
+      residual_sq += cj;
+    }
+    ++rank;
+  }
+
+  RrqrResult out;
+  out.residual_fro = std::sqrt(std::max(residual_sq, 0.0));
+  if (rank == 0) {
+    // Tile is zero to within tolerance: represent as a rank-1 zero factor so
+    // callers never deal with empty matrices.
+    out.u = Matrix(m, 1);
+    out.v = Matrix(n, 1);
+    out.rank = 1;
+    return out;
+  }
+  out.rank = rank;
+  out.u = form_q_thin(w, tau, rank);
+  // A P ~= Q R  =>  A ~= Q (R P^T), so V(perm[j], :) = R(0:rank, j)^T.
+  // Entries of column j below row j hold reflector storage, not R; R's
+  // column j is zero below row min(j, rank-1).
+  out.v = Matrix(n, rank);
+  for (i64 j = 0; j < n; ++j) {
+    const i64 orig = perm[static_cast<std::size_t>(j)];
+    const i64 top = std::min(j, rank - 1);
+    for (i64 i = 0; i <= top; ++i) out.v(orig, i) = w(i, j);
+  }
+  return out;
+}
+
+}  // namespace parmvn::la

@@ -1,0 +1,38 @@
+#include "linalg/solve.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/potrf.hpp"
+
+namespace parmvn::la {
+
+void spd_inverse(MatrixView a) {
+  PARMVN_EXPECTS(a.rows == a.cols);
+  const i64 n = a.rows;
+  potrf_lower_or_throw(a);
+  // X = L^-1 (solve against the identity), then A^-1 = X^T X.
+  Matrix x = Matrix::identity(n);
+  trsm(Side::kLeft, Trans::kNo, 1.0, a, x.view());
+  // A^-1 (lower triangle) = X^T X via syrk-T, then mirror.
+  syrk(Trans::kYes, 1.0, x.view(), 0.0, a);
+  for (i64 j = 0; j < n; ++j)
+    for (i64 i = j + 1; i < n; ++i) a(j, i) = a(i, j);
+}
+
+void chol_solve_inplace(ConstMatrixView l, double* b) {
+  PARMVN_EXPECTS(l.rows == l.cols);
+  MatrixView bv{b, l.rows, 1, l.rows};
+  trsm(Side::kLeft, Trans::kNo, 1.0, l, bv);
+  trsm(Side::kLeft, Trans::kYes, 1.0, l, bv);
+}
+
+double chol_logdet(ConstMatrixView l) {
+  PARMVN_EXPECTS(l.rows == l.cols);
+  double acc = 0.0;
+  for (i64 i = 0; i < l.rows; ++i) acc += std::log(l(i, i));
+  return 2.0 * acc;
+}
+
+}  // namespace parmvn::la

@@ -1,0 +1,21 @@
+// SPD solve / inverse helpers built on Cholesky (used by the posterior
+// covariance construction, eq. 7-8 of the paper, and by the MLE).
+#pragma once
+
+#include "common/types.hpp"
+#include "linalg/matrix.hpp"
+
+namespace parmvn::la {
+
+/// In-place inverse of an SPD matrix via Cholesky (only the lower triangle
+/// of the input is referenced; the full symmetric inverse is written).
+void spd_inverse(MatrixView a);
+
+/// Solve A x = b for SPD A given its lower Cholesky factor L (in the lower
+/// triangle of `l`); b is overwritten with x.
+void chol_solve_inplace(ConstMatrixView l, double* b);
+
+/// log(det(A)) from its Cholesky factor: 2 * sum log L_ii.
+[[nodiscard]] double chol_logdet(ConstMatrixView l);
+
+}  // namespace parmvn::la

@@ -1,0 +1,128 @@
+#include "linalg/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/contracts.hpp"
+#include "linalg/blas.hpp"
+
+namespace parmvn::la {
+
+SvdResult svd_jacobi(ConstMatrixView a) {
+  // Work on the tall orientation; transpose back at the end if needed.
+  const bool transposed = a.rows < a.cols;
+  Matrix work = transposed ? Matrix(a.cols, a.rows) : to_matrix(a);
+  if (transposed) transpose_into(a, work.view());
+  const i64 m = work.rows();
+  const i64 n = work.cols();
+
+  Matrix v = Matrix::identity(n);
+  MatrixView w = work.view();
+
+  // Cyclic one-sided Jacobi: orthogonalise column pairs until all rotations
+  // in a sweep are negligible.
+  const double tol = 1e-15;
+  const int max_sweeps = 60;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool rotated = false;
+    for (i64 p = 0; p < n - 1; ++p) {
+      for (i64 q = p + 1; q < n; ++q) {
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        const double* cp = w.col(p);
+        const double* cq = w.col(q);
+        for (i64 i = 0; i < m; ++i) {
+          app += cp[i] * cp[i];
+          aqq += cq[i] * cq[i];
+          apq += cp[i] * cq[i];
+        }
+        if (std::fabs(apq) <= tol * std::sqrt(app * aqq) || apq == 0.0)
+          continue;
+        rotated = true;
+        const double zeta = (aqq - app) / (2.0 * apq);
+        const double t = std::copysign(
+            1.0 / (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta)), zeta);
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        double* mp = w.col(p);
+        double* mq = w.col(q);
+        for (i64 i = 0; i < m; ++i) {
+          const double wp = mp[i];
+          const double wq = mq[i];
+          mp[i] = c * wp - s * wq;
+          mq[i] = s * wp + c * wq;
+        }
+        double* vp = v.view().col(p);
+        double* vq = v.view().col(q);
+        for (i64 i = 0; i < n; ++i) {
+          const double xp = vp[i];
+          const double xq = vq[i];
+          vp[i] = c * xp - s * xq;
+          vq[i] = s * xp + c * xq;
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+
+  // Singular values = column norms; U = normalised columns.
+  std::vector<double> sigma(static_cast<std::size_t>(n));
+  Matrix u(m, n);
+  for (i64 j = 0; j < n; ++j) {
+    double s = 0.0;
+    const double* cj = w.col(j);
+    for (i64 i = 0; i < m; ++i) s += cj[i] * cj[i];
+    s = std::sqrt(s);
+    sigma[static_cast<std::size_t>(j)] = s;
+    const double inv = (s > 0.0) ? 1.0 / s : 0.0;
+    for (i64 i = 0; i < m; ++i) u(i, j) = cj[i] * inv;
+  }
+
+  // Sort descending by singular value.
+  std::vector<i64> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), i64{0});
+  std::sort(order.begin(), order.end(), [&](i64 x, i64 y) {
+    return sigma[static_cast<std::size_t>(x)] > sigma[static_cast<std::size_t>(y)];
+  });
+  SvdResult out;
+  out.sigma.resize(static_cast<std::size_t>(n));
+  out.u = Matrix(m, n);
+  out.v = Matrix(n, n);
+  for (i64 j = 0; j < n; ++j) {
+    const i64 src = order[static_cast<std::size_t>(j)];
+    out.sigma[static_cast<std::size_t>(j)] = sigma[static_cast<std::size_t>(src)];
+    for (i64 i = 0; i < m; ++i) out.u(i, j) = u(i, src);
+    for (i64 i = 0; i < n; ++i) out.v(i, j) = v(i, src);
+  }
+
+  if (transposed) std::swap(out.u, out.v);
+  return out;
+}
+
+i64 truncation_rank_sv(const std::vector<double>& sigma, double threshold) {
+  PARMVN_EXPECTS(!sigma.empty());
+  i64 rank = 0;
+  for (const double s : sigma) {
+    if (s >= threshold) ++rank;
+  }
+  return std::max<i64>(rank, 1);
+}
+
+i64 truncation_rank(const std::vector<double>& sigma, double tol_fro) {
+  PARMVN_EXPECTS(!sigma.empty());
+  const i64 k = static_cast<i64>(sigma.size());
+  // tail_sq[r] = sum_{i >= r} sigma_i^2; pick the smallest r with
+  // tail_sq[r] <= tol^2.
+  double tail_sq = 0.0;
+  const double tol_sq = tol_fro * tol_fro;
+  i64 rank = k;
+  for (i64 r = k; r >= 1; --r) {
+    const double s = sigma[static_cast<std::size_t>(r - 1)];
+    if (tail_sq + s * s > tol_sq) break;
+    tail_sq += s * s;
+    rank = r - 1;
+  }
+  return std::max<i64>(rank, 1);
+}
+
+}  // namespace parmvn::la

@@ -1,0 +1,36 @@
+// One-sided Jacobi singular value decomposition.
+//
+// Used on the small cores that appear in low-rank recompression
+// (r x r with r = tile rank, typically < 100) and as a high-accuracy oracle
+// in tests. One-sided Jacobi is slow for big matrices but essentially
+// backward-stable and simple to verify.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "linalg/matrix.hpp"
+
+namespace parmvn::la {
+
+struct SvdResult {
+  Matrix u;                    // m x k, orthonormal columns
+  std::vector<double> sigma;   // k singular values, descending
+  Matrix v;                    // n x k, orthonormal columns
+};
+
+/// Thin SVD A = U diag(sigma) V^T with k = min(m, n).
+[[nodiscard]] SvdResult svd_jacobi(ConstMatrixView a);
+
+/// Smallest rank r such that the discarded tail satisfies
+/// sqrt(sum_{i>=r} sigma_i^2) <= tol_fro (absolute Frobenius tolerance).
+/// Always returns at least 1.
+[[nodiscard]] i64 truncation_rank(const std::vector<double>& sigma,
+                                  double tol_fro);
+
+/// Number of singular values >= threshold (HiCMA's fixed-accuracy rule:
+/// everything below the threshold is noise). Always returns at least 1.
+[[nodiscard]] i64 truncation_rank_sv(const std::vector<double>& sigma,
+                                     double threshold);
+
+}  // namespace parmvn::la

@@ -1,0 +1,53 @@
+#include "mle/fit.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/contracts.hpp"
+#include "mle/loglik.hpp"
+#include "stats/covariance.hpp"
+
+namespace parmvn::mle {
+
+MaternFit fit_matern(const geo::LocationSet& locations,
+                     const std::vector<double>& z,
+                     const MaternFitOptions& opts) {
+  PARMVN_EXPECTS(locations.size() == z.size());
+  PARMVN_EXPECTS(locations.size() >= 4);
+
+  const double fixed_nu = opts.init_smoothness;
+  auto objective = [&](const std::vector<double>& logp) {
+    const double sigma2 = std::exp(logp[0]);
+    const double range = std::exp(logp[1]);
+    const double nu =
+        opts.fix_smoothness ? fixed_nu : std::exp(logp[2]);
+    // Clamp to a numerically sane box; outside -> +inf objective.
+    if (sigma2 > 1e4 || sigma2 < 1e-6 || range > 50.0 || range < 1e-5 ||
+        nu > 10.0 || nu < 0.05) {
+      return std::numeric_limits<double>::infinity();
+    }
+    try {
+      const stats::MaternKernel kernel(sigma2, range, nu);
+      return -gaussian_loglik(locations, z, kernel, opts.nugget);
+    } catch (const Error&) {
+      return std::numeric_limits<double>::infinity();  // non-SPD draw
+    }
+  };
+
+  std::vector<double> x0{std::log(opts.init_sigma2), std::log(opts.init_range)};
+  if (!opts.fix_smoothness) x0.push_back(std::log(opts.init_smoothness));
+
+  NelderMeadOptions nm = opts.nm;
+  const NelderMeadResult r = nelder_mead(objective, x0, nm);
+
+  MaternFit fit;
+  fit.sigma2 = std::exp(r.x[0]);
+  fit.range = std::exp(r.x[1]);
+  fit.smoothness = opts.fix_smoothness ? fixed_nu : std::exp(r.x[2]);
+  fit.loglik = -r.fmin;
+  fit.evals = r.evals;
+  fit.converged = r.converged;
+  return fit;
+}
+
+}  // namespace parmvn::mle

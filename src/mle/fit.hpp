@@ -1,0 +1,37 @@
+// Matern maximum-likelihood fit (the ExaGeoStat theta_hat step feeding
+// Algorithm 1).
+#pragma once
+
+#include <vector>
+
+#include "geo/geometry.hpp"
+#include "mle/neldermead.hpp"
+
+namespace parmvn::mle {
+
+struct MaternFit {
+  double sigma2 = 1.0;
+  double range = 0.1;
+  double smoothness = 0.5;
+  double loglik = 0.0;
+  i64 evals = 0;
+  bool converged = false;
+};
+
+struct MaternFitOptions {
+  double init_sigma2 = 1.0;
+  double init_range = 0.1;
+  double init_smoothness = 1.0;
+  bool fix_smoothness = false;  // 2-parameter fit when the smoothness is known
+  double nugget = 1e-8;         // jitter for numerical SPD-ness
+  NelderMeadOptions nm;
+};
+
+/// Fit (sigma2, range, smoothness) of a zero-mean Matern field observed as
+/// `z` at `locations`. Parameters are optimised in log-space to enforce
+/// positivity.
+[[nodiscard]] MaternFit fit_matern(const geo::LocationSet& locations,
+                                   const std::vector<double>& z,
+                                   const MaternFitOptions& opts = {});
+
+}  // namespace parmvn::mle

@@ -1,0 +1,42 @@
+#include "mle/loglik.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "common/contracts.hpp"
+#include "geo/covgen.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/potrf.hpp"
+#include "linalg/solve.hpp"
+
+namespace parmvn::mle {
+
+double gaussian_loglik(const geo::LocationSet& locations,
+                       const std::vector<double>& z,
+                       const stats::CovKernel& kernel, double nugget) {
+  const i64 n = static_cast<i64>(locations.size());
+  PARMVN_EXPECTS(static_cast<i64>(z.size()) == n);
+
+  la::Matrix sigma(n, n);
+  for (i64 j = 0; j < n; ++j)
+    for (i64 i = j; i < n; ++i) {
+      const double d = geo::distance(locations[static_cast<std::size_t>(i)],
+                                     locations[static_cast<std::size_t>(j)]);
+      double v = kernel(d);
+      if (i == j) v += nugget;
+      sigma(i, j) = v;
+      sigma(j, i) = v;
+    }
+  la::potrf_lower_or_throw(sigma.view());
+  const double logdet = la::chol_logdet(sigma.view());
+
+  std::vector<double> w = z;
+  la::MatrixView wv{w.data(), n, 1, n};
+  la::trsm(la::Side::kLeft, la::Trans::kNo, 1.0, sigma.view(), wv);
+  const double quad = la::dot(n, w.data(), w.data());
+
+  return -0.5 * (quad + logdet +
+                 static_cast<double>(n) * std::log(2.0 * M_PI));
+}
+
+}  // namespace parmvn::mle

@@ -1,0 +1,19 @@
+// Gaussian log-likelihood of a zero-mean field under an isotropic kernel —
+// the objective ExaGeoStat maximises to produce theta_hat for Algorithm 1.
+#pragma once
+
+#include <vector>
+
+#include "geo/geometry.hpp"
+#include "stats/covariance.hpp"
+
+namespace parmvn::mle {
+
+/// log L(theta) = -1/2 [ z^T Sigma^-1 z + log|Sigma| + n log(2 pi) ].
+/// Throws if Sigma(theta) is not SPD.
+[[nodiscard]] double gaussian_loglik(const geo::LocationSet& locations,
+                                     const std::vector<double>& z,
+                                     const stats::CovKernel& kernel,
+                                     double nugget = 0.0);
+
+}  // namespace parmvn::mle

@@ -1,0 +1,122 @@
+#include "mle/neldermead.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace parmvn::mle {
+
+NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    const std::vector<double>& x0, const NelderMeadOptions& opts) {
+  PARMVN_EXPECTS(!x0.empty());
+  const std::size_t d = x0.size();
+
+  // Initial simplex: x0 plus a step along each axis.
+  std::vector<std::vector<double>> simplex(d + 1, x0);
+  for (std::size_t i = 0; i < d; ++i) simplex[i + 1][i] += opts.initial_step;
+
+  NelderMeadResult res;
+  std::vector<double> fv(d + 1);
+  for (std::size_t i = 0; i <= d; ++i) {
+    fv[i] = f(simplex[i]);
+    ++res.evals;
+  }
+
+  constexpr double kAlpha = 1.0;  // reflection
+  constexpr double kGamma = 2.0;  // expansion
+  constexpr double kRho = 0.5;    // contraction
+  constexpr double kSigma = 0.5;  // shrink
+
+  auto order = [&] {
+    std::vector<std::size_t> idx(d + 1);
+    for (std::size_t i = 0; i <= d; ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t a, std::size_t b) { return fv[a] < fv[b]; });
+    std::vector<std::vector<double>> s2;
+    std::vector<double> f2;
+    for (std::size_t i : idx) {
+      s2.push_back(simplex[i]);
+      f2.push_back(fv[i]);
+    }
+    simplex.swap(s2);
+    fv.swap(f2);
+  };
+
+  while (res.evals < opts.max_evals) {
+    order();
+    // Convergence: simplex extent and f-spread.
+    double xspread = 0.0;
+    for (std::size_t i = 0; i < d; ++i) {
+      double lo = simplex[0][i], hi = simplex[0][i];
+      for (std::size_t k = 1; k <= d; ++k) {
+        lo = std::min(lo, simplex[k][i]);
+        hi = std::max(hi, simplex[k][i]);
+      }
+      xspread = std::max(xspread, hi - lo);
+    }
+    // Require both criteria: an f-spread of zero alone can be a symmetric
+    // straddle of the minimum (e.g. cosh at x0 +- h), not convergence.
+    if (xspread < opts.xtol && std::fabs(fv[d] - fv[0]) < opts.ftol) {
+      res.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(d, 0.0);
+    for (std::size_t k = 0; k < d; ++k)
+      for (std::size_t i = 0; i < d; ++i) centroid[i] += simplex[k][i];
+    for (double& c : centroid) c /= static_cast<double>(d);
+
+    auto along = [&](double t) {
+      std::vector<double> x(d);
+      for (std::size_t i = 0; i < d; ++i)
+        x[i] = centroid[i] + t * (simplex[d][i] - centroid[i]);
+      return x;
+    };
+
+    const std::vector<double> xr = along(-kAlpha);
+    const double fr = f(xr);
+    ++res.evals;
+    if (fr < fv[0]) {
+      const std::vector<double> xe = along(-kGamma);
+      const double fe = f(xe);
+      ++res.evals;
+      if (fe < fr) {
+        simplex[d] = xe;
+        fv[d] = fe;
+      } else {
+        simplex[d] = xr;
+        fv[d] = fr;
+      }
+    } else if (fr < fv[d - 1]) {
+      simplex[d] = xr;
+      fv[d] = fr;
+    } else {
+      const bool outside = fr < fv[d];
+      const std::vector<double> xc = along(outside ? -kRho : kRho);
+      const double fc = f(xc);
+      ++res.evals;
+      if (fc < std::min(fr, fv[d])) {
+        simplex[d] = xc;
+        fv[d] = fc;
+      } else {
+        // Shrink toward the best vertex.
+        for (std::size_t k = 1; k <= d; ++k) {
+          for (std::size_t i = 0; i < d; ++i)
+            simplex[k][i] =
+                simplex[0][i] + kSigma * (simplex[k][i] - simplex[0][i]);
+          fv[k] = f(simplex[k]);
+          ++res.evals;
+        }
+      }
+    }
+  }
+  order();
+  res.x = simplex[0];
+  res.fmin = fv[0];
+  return res;
+}
+
+}  // namespace parmvn::mle

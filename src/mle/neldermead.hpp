@@ -1,0 +1,31 @@
+// Derivative-free Nelder-Mead simplex minimiser (the NLopt substitute used
+// for Matern maximum-likelihood estimation).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace parmvn::mle {
+
+struct NelderMeadOptions {
+  i64 max_evals = 2000;
+  double xtol = 1e-7;  // simplex size convergence
+  double ftol = 1e-10; // function spread convergence
+  double initial_step = 0.5;
+};
+
+struct NelderMeadResult {
+  std::vector<double> x;
+  double fmin = 0.0;
+  i64 evals = 0;
+  bool converged = false;
+};
+
+/// Minimise f over R^d starting at x0.
+[[nodiscard]] NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    const std::vector<double>& x0, const NelderMeadOptions& opts = {});
+
+}  // namespace parmvn::mle

@@ -1,0 +1,39 @@
+// Data access modes for task dependency inference.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace parmvn::rt {
+
+/// How a task touches a piece of registered data. The runtime derives task
+/// dependencies from these declarations exactly like StarPU's
+/// sequential-consistency mode: tasks appear to execute in submission order
+/// with respect to each data item.
+enum class Access {
+  kRead,       // concurrent readers allowed
+  kWrite,      // exclusive; previous value not needed
+  kReadWrite,  // exclusive; previous value needed
+};
+
+/// Opaque name for a unit of data tracked by the runtime (e.g. one tile).
+/// Handles are cheap value types; they do not own the data they describe.
+class DataHandle {
+ public:
+  DataHandle() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return id_ >= 0; }
+  [[nodiscard]] i64 id() const noexcept { return id_; }
+
+ private:
+  friend class Runtime;
+  explicit DataHandle(i64 id) : id_(id) {}
+  i64 id_ = -1;
+};
+
+/// One (handle, mode) pair in a task's access list.
+struct DataAccess {
+  DataHandle handle;
+  Access mode = Access::kRead;
+};
+
+}  // namespace parmvn::rt

@@ -1,0 +1,276 @@
+#include "runtime/runtime.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <queue>
+#include <thread>
+
+#include "common/contracts.hpp"
+#include "common/env.hpp"
+#include "common/timer.hpp"
+
+namespace parmvn::rt {
+
+namespace {
+
+enum class TaskState { kWaiting, kReady, kRunning, kDone };
+
+struct TaskNode {
+  std::string name;
+  std::function<void()> fn;
+  int priority = 0;
+  i64 seq = 0;  // submission order; FIFO tie-break in the ready queue
+  i64 unmet = 0;
+  TaskState state = TaskState::kWaiting;
+  std::vector<TaskNode*> successors;
+};
+
+struct ReadyOrder {
+  bool operator()(const TaskNode* a, const TaskNode* b) const {
+    if (a->priority != b->priority) return a->priority < b->priority;
+    return a->seq > b->seq;  // earlier submission first
+  }
+};
+
+struct HandleState {
+  TaskNode* last_writer = nullptr;
+  std::vector<TaskNode*> readers_since_write;
+  std::string debug_name;
+};
+
+}  // namespace
+
+struct Runtime::Impl {
+  explicit Impl(int threads, bool trace_on)
+      : inline_mode(threads == 0), tracing(trace_on) {
+    if (!inline_mode) {
+      workers.reserve(static_cast<std::size_t>(threads));
+      for (int w = 0; w < threads; ++w) {
+        workers.emplace_back([this, w] { worker_loop(w); });
+      }
+    }
+  }
+
+  ~Impl() {
+    {
+      std::unique_lock lock(mutex);
+      shutting_down = true;
+    }
+    ready_cv.notify_all();
+    for (std::thread& t : workers) t.join();
+  }
+
+  // ---- submission path (main thread) ----
+  std::size_t handle_count() {
+    std::unique_lock lock(mutex);
+    return handles.size();
+  }
+
+  DataHandle register_handle(std::string debug_name) {
+    std::unique_lock lock(mutex);
+    handles.push_back(HandleState{});
+    handles.back().debug_name = std::move(debug_name);
+    return DataHandle(static_cast<i64>(handles.size()) - 1);
+  }
+
+  void submit(std::string name, const std::vector<DataAccess>& accesses,
+              std::function<void()> fn, int priority) {
+    // Validate before any bookkeeping so a rejected submission cannot leave
+    // a phantom in-flight task behind.
+    for (const DataAccess& acc : accesses) {
+      PARMVN_EXPECTS(acc.handle.valid());
+      PARMVN_EXPECTS(acc.handle.id() < static_cast<i64>(handle_count()));
+    }
+    if (inline_mode) {
+      // Submission order is a topological order under sequential
+      // consistency, so inline execution is always legal.
+      if (!first_error) {
+        try {
+          fn();
+        } catch (...) {
+          first_error = std::current_exception();
+        }
+      }
+      ++executed;
+      return;
+    }
+
+    auto node = std::make_unique<TaskNode>();
+    node->name = std::move(name);
+    node->fn = std::move(fn);
+    node->priority = priority;
+    TaskNode* task = node.get();
+
+    std::unique_lock lock(mutex);
+    task->seq = next_seq++;
+    ++in_flight;
+    all_tasks.push_back(std::move(node));
+
+    auto add_dep = [&](TaskNode* dep) {
+      if (dep == nullptr || dep == task || dep->state == TaskState::kDone)
+        return;
+      dep->successors.push_back(task);
+      ++task->unmet;
+    };
+
+    for (const DataAccess& acc : accesses) {
+      HandleState& hs = handles[static_cast<std::size_t>(acc.handle.id())];
+      switch (acc.mode) {
+        case Access::kRead:
+          add_dep(hs.last_writer);
+          hs.readers_since_write.push_back(task);
+          break;
+        case Access::kWrite:
+        case Access::kReadWrite:
+          add_dep(hs.last_writer);
+          for (TaskNode* r : hs.readers_since_write) add_dep(r);
+          hs.readers_since_write.clear();
+          hs.last_writer = task;
+          break;
+      }
+    }
+
+    if (task->unmet == 0) {
+      task->state = TaskState::kReady;
+      ready.push(task);
+      lock.unlock();
+      ready_cv.notify_one();
+    }
+  }
+
+  void wait_all() {
+    if (inline_mode) {
+      finish_epoch();
+      return;
+    }
+    std::unique_lock lock(mutex);
+    done_cv.wait(lock, [this] { return in_flight == 0; });
+    lock.unlock();
+    finish_epoch();
+  }
+
+  void finish_epoch() {
+    std::unique_lock lock(mutex);
+    all_tasks.clear();
+    for (HandleState& hs : handles) {
+      hs.last_writer = nullptr;
+      hs.readers_since_write.clear();
+    }
+    if (first_error) {
+      std::exception_ptr err = first_error;
+      first_error = nullptr;
+      cancelled = false;
+      lock.unlock();
+      std::rethrow_exception(err);
+    }
+    cancelled = false;
+  }
+
+  // ---- worker path ----
+  void worker_loop(int worker_id) {
+    std::unique_lock lock(mutex);
+    for (;;) {
+      ready_cv.wait(lock, [this] { return shutting_down || !ready.empty(); });
+      if (ready.empty()) {
+        if (shutting_down) return;
+        continue;
+      }
+      TaskNode* task = ready.top();
+      ready.pop();
+      task->state = TaskState::kRunning;
+      const bool skip = cancelled;
+      lock.unlock();
+
+      const double t0 = tracing ? global_time_s() : 0.0;
+      std::exception_ptr err;
+      if (!skip) {
+        try {
+          task->fn();
+        } catch (...) {
+          err = std::current_exception();
+        }
+      }
+      const double t1 = tracing ? global_time_s() : 0.0;
+
+      lock.lock();
+      if (tracing) records.push_back({task->name, worker_id, t0, t1});
+      if (err && !first_error) {
+        first_error = err;
+        cancelled = true;  // not-yet-started tasks become no-ops
+      }
+      task->state = TaskState::kDone;
+      ++executed;
+      bool notify_ready = false;
+      for (TaskNode* succ : task->successors) {
+        if (--succ->unmet == 0) {
+          succ->state = TaskState::kReady;
+          ready.push(succ);
+          notify_ready = true;
+        }
+      }
+      --in_flight;
+      if (in_flight == 0) done_cv.notify_all();
+      if (notify_ready) ready_cv.notify_all();
+    }
+  }
+
+  // All mutable state below is guarded by `mutex` (single-lock design: tasks
+  // are >= tens of microseconds, so lock traffic is noise).
+  std::mutex mutex;
+  std::condition_variable ready_cv;
+  std::condition_variable done_cv;
+  std::vector<HandleState> handles;
+  std::deque<std::unique_ptr<TaskNode>> all_tasks;
+  std::priority_queue<TaskNode*, std::vector<TaskNode*>, ReadyOrder> ready;
+  std::vector<std::thread> workers;
+  std::vector<TaskRecord> records;
+  std::exception_ptr first_error;
+  i64 next_seq = 0;
+  i64 in_flight = 0;
+  std::atomic<i64> executed{0};
+  bool shutting_down = false;
+  bool cancelled = false;
+  bool inline_mode = false;
+  bool tracing = false;
+};
+
+Runtime::Runtime(int num_threads, bool enable_trace)
+    : impl_(std::make_unique<Impl>(num_threads, enable_trace)) {
+  PARMVN_EXPECTS(num_threads >= 0);
+}
+
+Runtime::Runtime() : Runtime(default_num_threads(), false) {}
+
+Runtime::~Runtime() {
+  if (impl_ && !impl_->inline_mode) {
+    std::unique_lock lock(impl_->mutex);
+    impl_->done_cv.wait(lock, [this] { return impl_->in_flight == 0; });
+  }
+}
+
+DataHandle Runtime::register_data(std::string debug_name) {
+  return impl_->register_handle(std::move(debug_name));
+}
+
+void Runtime::submit(std::string name, std::vector<DataAccess> accesses,
+                     std::function<void()> fn, int priority) {
+  impl_->submit(std::move(name), accesses, std::move(fn), priority);
+}
+
+void Runtime::wait_all() { impl_->wait_all(); }
+
+int Runtime::num_threads() const noexcept {
+  return impl_->inline_mode ? 0 : static_cast<int>(impl_->workers.size());
+}
+
+i64 Runtime::tasks_executed() const noexcept { return impl_->executed.load(); }
+
+const std::vector<TaskRecord>& Runtime::trace() const {
+  return impl_->records;
+}
+
+}  // namespace parmvn::rt

@@ -1,0 +1,75 @@
+// Task-based runtime with data-driven dependency inference — the library's
+// StarPU substitute.
+//
+// Usage mirrors StarPU's sequential-consistency model:
+//
+//   rt::Runtime rt(8);
+//   auto hA = rt.register_data("A00");
+//   auto hB = rt.register_data("B00");
+//   rt.submit("potrf", {{hA, rt::Access::kReadWrite}}, [&]{ ... });
+//   rt.submit("trsm",  {{hA, rt::Access::kRead}, {hB, rt::Access::kReadWrite}},
+//             [&]{ ... });
+//   rt.wait_all();
+//
+// Tasks behave *as if* executed in submission order with respect to every
+// data handle (RAW, WAR and WAW hazards ordered); independent tasks run
+// concurrently on the worker pool. Priorities break ties in the ready queue
+// (critical-path tasks such as POTRF get high priority, like Chameleon's
+// priority hints to StarPU).
+//
+// Error model: the first exception thrown by a task cancels all
+// not-yet-started tasks; wait_all() rethrows it.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "runtime/access.hpp"
+#include "runtime/trace.hpp"
+
+namespace parmvn::rt {
+
+class Runtime {
+ public:
+  /// @param num_threads worker threads; 0 = inline mode (tasks execute
+  ///        immediately on submit — submission order is always a valid
+  ///        topological order under sequential consistency).
+  /// @param enable_trace record per-task timing (see trace()).
+  explicit Runtime(int num_threads, bool enable_trace = false);
+  Runtime();  // default_num_threads() workers
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Drains remaining work (ignoring task errors) and joins workers.
+  ~Runtime();
+
+  /// Register a unit of data for dependency tracking.
+  [[nodiscard]] DataHandle register_data(std::string debug_name = {});
+
+  /// Submit a task. `accesses` lists every handle the task touches.
+  void submit(std::string name, std::vector<DataAccess> accesses,
+              std::function<void()> fn, int priority = 0);
+
+  /// Block until all submitted tasks completed; rethrows the first task
+  /// exception if any. Afterwards the runtime is reusable.
+  void wait_all();
+
+  [[nodiscard]] int num_threads() const noexcept;
+
+  /// Total tasks executed since construction.
+  [[nodiscard]] i64 tasks_executed() const noexcept;
+
+  /// Timing records (only populated when enable_trace was set); stable to
+  /// read after wait_all().
+  [[nodiscard]] const std::vector<TaskRecord>& trace() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace parmvn::rt

@@ -1,0 +1,23 @@
+// Execution trace of a runtime session (one record per task).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace parmvn::rt {
+
+struct TaskRecord {
+  std::string name;
+  int worker = -1;
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+/// Write records as a Chrome `chrome://tracing` / Perfetto JSON file.
+void write_chrome_trace(const std::vector<TaskRecord>& records,
+                        const std::string& path);
+
+/// Aggregate per-task-name totals, formatted as an aligned text table.
+std::string summarize_trace(const std::vector<TaskRecord>& records);
+
+}  // namespace parmvn::rt

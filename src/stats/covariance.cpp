@@ -1,0 +1,96 @@
+#include "stats/covariance.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "stats/bessel.hpp"
+
+namespace parmvn::stats {
+
+MaternKernel::MaternKernel(double sigma2, double range, double smoothness)
+    : sigma2_(sigma2), range_(range), nu_(smoothness) {
+  PARMVN_EXPECTS(sigma2 > 0.0);
+  PARMVN_EXPECTS(range > 0.0);
+  PARMVN_EXPECTS(smoothness > 0.0);
+  scale_ = std::pow(2.0, 1.0 - nu_) / std::tgamma(nu_);
+}
+
+double MaternKernel::operator()(double distance) const {
+  PARMVN_EXPECTS(distance >= 0.0);
+  if (distance == 0.0) return sigma2_;
+  const double z = distance / range_;
+  // Closed forms avoid the Bessel evaluation for the half-integer orders
+  // that dominate geostatistics practice.
+  if (nu_ == 0.5) return sigma2_ * std::exp(-z);
+  if (nu_ == 1.5) return sigma2_ * (1.0 + z) * std::exp(-z);
+  if (nu_ == 2.5) return sigma2_ * (1.0 + z + z * z / 3.0) * std::exp(-z);
+  if (z > 705.0) return 0.0;  // K_nu underflows; covariance is exactly 0 in
+                              // double precision anyway
+  const double k = bessel_k(nu_, z);
+  const double value = sigma2_ * scale_ * std::pow(z, nu_) * k;
+  // Guard against rounding pushing C(d) above C(0) for tiny distances.
+  return value > sigma2_ ? sigma2_ : value;
+}
+
+std::string MaternKernel::name() const {
+  return "matern(nu=" + std::to_string(nu_) + ")";
+}
+
+ExponentialKernel::ExponentialKernel(double sigma2, double range)
+    : sigma2_(sigma2), range_(range) {
+  PARMVN_EXPECTS(sigma2 > 0.0);
+  PARMVN_EXPECTS(range > 0.0);
+}
+
+double ExponentialKernel::operator()(double distance) const {
+  PARMVN_EXPECTS(distance >= 0.0);
+  return sigma2_ * std::exp(-distance / range_);
+}
+
+std::string ExponentialKernel::name() const { return "exponential"; }
+
+GaussianKernel::GaussianKernel(double sigma2, double range)
+    : sigma2_(sigma2), range_(range) {
+  PARMVN_EXPECTS(sigma2 > 0.0);
+  PARMVN_EXPECTS(range > 0.0);
+}
+
+double GaussianKernel::operator()(double distance) const {
+  PARMVN_EXPECTS(distance >= 0.0);
+  const double z = distance / range_;
+  return sigma2_ * std::exp(-z * z);
+}
+
+std::string GaussianKernel::name() const { return "gaussian"; }
+
+PoweredExponentialKernel::PoweredExponentialKernel(double sigma2, double range,
+                                                   double power)
+    : sigma2_(sigma2), range_(range), power_(power) {
+  PARMVN_EXPECTS(sigma2 > 0.0);
+  PARMVN_EXPECTS(range > 0.0);
+  PARMVN_EXPECTS(power > 0.0 && power <= 2.0);
+}
+
+double PoweredExponentialKernel::operator()(double distance) const {
+  PARMVN_EXPECTS(distance >= 0.0);
+  return sigma2_ * std::exp(-std::pow(distance / range_, power_));
+}
+
+std::string PoweredExponentialKernel::name() const {
+  return "powexp(p=" + std::to_string(power_) + ")";
+}
+
+std::unique_ptr<CovKernel> make_kernel(const std::string& kind, double sigma2,
+                                       double range, double extra) {
+  if (kind == "matern")
+    return std::make_unique<MaternKernel>(sigma2, range, extra);
+  if (kind == "exponential")
+    return std::make_unique<ExponentialKernel>(sigma2, range);
+  if (kind == "gaussian")
+    return std::make_unique<GaussianKernel>(sigma2, range);
+  if (kind == "powexp")
+    return std::make_unique<PoweredExponentialKernel>(sigma2, range, extra);
+  throw Error("unknown covariance kernel kind: " + kind);
+}
+
+}  // namespace parmvn::stats

@@ -1,0 +1,96 @@
+// Isotropic covariance kernels C(d; theta). The paper builds covariance
+// matrices from the Matern family (eq. 6); the synthetic experiments of
+// Fig. 1/Fig. 5 use the exponential kernel (Matern with smoothness 1/2) with
+// ranges {0.033, 0.1, 0.234}.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace parmvn::stats {
+
+/// Isotropic positive-definite kernel: covariance as a function of distance.
+class CovKernel {
+ public:
+  virtual ~CovKernel() = default;
+
+  /// C(d), d >= 0. C(0) == variance().
+  [[nodiscard]] virtual double operator()(double distance) const = 0;
+
+  /// Marginal variance sigma^2 = C(0).
+  [[nodiscard]] virtual double variance() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Matern kernel (paper eq. 6):
+///   C(d) = sigma2 * 2^(1-nu)/Gamma(nu) * (d/range)^nu * K_nu(d/range).
+/// Closed forms are used for nu in {1/2, 3/2, 5/2}; otherwise K_nu is
+/// evaluated numerically.
+class MaternKernel final : public CovKernel {
+ public:
+  MaternKernel(double sigma2, double range, double smoothness);
+
+  [[nodiscard]] double operator()(double distance) const override;
+  [[nodiscard]] double variance() const override { return sigma2_; }
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double range() const noexcept { return range_; }
+  [[nodiscard]] double smoothness() const noexcept { return nu_; }
+
+ private:
+  double sigma2_;
+  double range_;
+  double nu_;
+  double scale_;  // 2^(1-nu)/Gamma(nu)
+};
+
+/// Exponential kernel C(d) = sigma2 * exp(-d/range)  (== Matern nu=1/2).
+class ExponentialKernel final : public CovKernel {
+ public:
+  ExponentialKernel(double sigma2, double range);
+
+  [[nodiscard]] double operator()(double distance) const override;
+  [[nodiscard]] double variance() const override { return sigma2_; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double sigma2_;
+  double range_;
+};
+
+/// Squared-exponential (Gaussian) kernel C(d) = sigma2 * exp(-(d/range)^2).
+class GaussianKernel final : public CovKernel {
+ public:
+  GaussianKernel(double sigma2, double range);
+
+  [[nodiscard]] double operator()(double distance) const override;
+  [[nodiscard]] double variance() const override { return sigma2_; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double sigma2_;
+  double range_;
+};
+
+/// Powered exponential C(d) = sigma2 * exp(-(d/range)^power), 0 < power <= 2.
+class PoweredExponentialKernel final : public CovKernel {
+ public:
+  PoweredExponentialKernel(double sigma2, double range, double power);
+
+  [[nodiscard]] double operator()(double distance) const override;
+  [[nodiscard]] double variance() const override { return sigma2_; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double sigma2_;
+  double range_;
+  double power_;
+};
+
+/// Factory used by tools/tests: kind in {"matern","exponential","gaussian",
+/// "powexp"}.
+std::unique_ptr<CovKernel> make_kernel(const std::string& kind, double sigma2,
+                                       double range, double extra);
+
+}  // namespace parmvn::stats

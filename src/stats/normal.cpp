@@ -1,0 +1,97 @@
+#include "stats/normal.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace parmvn::stats {
+
+namespace {
+constexpr double kInvSqrt2 = 0.7071067811865475244008443621048490;
+constexpr double kInvSqrt2Pi = 0.3989422804014326779399460599343819;
+}  // namespace
+
+double norm_pdf(double x) noexcept {
+  return kInvSqrt2Pi * std::exp(-0.5 * x * x);
+}
+
+double norm_cdf(double x) noexcept {
+  // 0.5*erfc(-x/sqrt(2)) is accurate in both tails: erfc handles the left
+  // tail directly and saturates to 2 on the right without cancellation.
+  return 0.5 * std::erfc(-x * kInvSqrt2);
+}
+
+double norm_cdf_diff(double a, double b) noexcept {
+  if (!(a < b)) return 0.0;
+  // Evaluate both CDFs in the left tail: Phi(b)-Phi(a) = Phi(-a)-Phi(-b)
+  // by symmetry. Choosing the side where both arguments are <= 0 keeps
+  // erfc in its accurate (non-cancelling) regime.
+  if (a >= 0.0) return 0.5 * (std::erfc(a * kInvSqrt2) - std::erfc(b * kInvSqrt2));
+  if (b <= 0.0) return 0.5 * (std::erfc(-b * kInvSqrt2) - std::erfc(-a * kInvSqrt2));
+  // Straddles zero: both terms are O(1); plain difference is fine.
+  return norm_cdf(b) - norm_cdf(a);
+}
+
+double norm_logcdf(double x) noexcept {
+  if (x > -1.0) {
+    // Phi(x) is far from 0; log of the direct value is accurate.
+    return std::log1p(-0.5 * std::erfc(x * kInvSqrt2));
+  }
+  if (x > -37.5) {
+    // erfc still representable: log(erfc/2).
+    return std::log(0.5 * std::erfc(-x * kInvSqrt2));
+  }
+  // Far left tail: Phi(x) ~ phi(x)/(-x) * (1 - 1/x^2 + 3/x^4 - 15/x^6 ...).
+  const double z = -x;
+  const double z2 = z * z;
+  double series = 1.0 - 1.0 / z2 + 3.0 / (z2 * z2) - 15.0 / (z2 * z2 * z2);
+  return -0.5 * z2 - 0.5 * std::log(2.0 * M_PI) - std::log(z) + std::log(series);
+}
+
+double norm_quantile(double p) noexcept {
+  // Wichura (1988), Algorithm AS 241, PPND16.
+  if (std::isnan(p)) return p;
+  if (p <= 0.0) return -std::numeric_limits<double>::infinity();
+  if (p >= 1.0) return std::numeric_limits<double>::infinity();
+
+  const double q = p - 0.5;
+  if (std::fabs(q) <= 0.425) {
+    const double r = 0.180625 - q * q;
+    return q *
+           (((((((2.5090809287301226727e+3 * r + 3.3430575583588128105e+4) * r +
+                 6.7265770927008700853e+4) * r + 4.5921953931549871457e+4) * r +
+               1.3731693765509461125e+4) * r + 1.9715909503065514427e+3) * r +
+             1.3314166789178437745e+2) * r + 3.3871328727963666080e+0) /
+           (((((((5.2264952788528545610e+3 * r + 2.8729085735721942674e+4) * r +
+                 3.9307895800092710610e+4) * r + 2.1213794301586595867e+4) * r +
+               5.3941960214247511077e+3) * r + 6.8718700749205790830e+2) * r +
+             4.2313330701600911252e+1) * r + 1.0);
+  }
+
+  double r = (q < 0.0) ? p : 1.0 - p;
+  r = std::sqrt(-std::log(r));
+  double val;
+  if (r <= 5.0) {
+    r -= 1.6;
+    val = (((((((7.74545014278341407640e-4 * r + 2.27238449892691845833e-2) * r +
+                2.41780725177450611770e-1) * r + 1.27045825245236838258e+0) * r +
+              3.64784832476320460504e+0) * r + 5.76949722146069140550e+0) * r +
+            4.63033784615654529590e+0) * r + 1.42343711074968357734e+0) /
+          (((((((1.05075007164441684324e-9 * r + 5.47593808499534494600e-4) * r +
+                1.51986665636164571966e-2) * r + 1.48103976427480074590e-1) * r +
+              6.89767334985100004550e-1) * r + 1.67638483018380384940e+0) * r +
+            2.05319162663775882187e+0) * r + 1.0);
+  } else {
+    r -= 5.0;
+    val = (((((((2.01033439929228813265e-7 * r + 2.71155556874348757815e-5) * r +
+                1.24266094738807843860e-3) * r + 2.65321895265761230930e-2) * r +
+              2.96560571828504891230e-1) * r + 1.78482653991729133580e+0) * r +
+            5.46378491116411436990e+0) * r + 6.65790464350110377720e+0) /
+          (((((((2.04426310338993978564e-15 * r + 1.42151175831644588870e-7) * r +
+                1.84631831751005468180e-5) * r + 7.86869131145613259100e-4) * r +
+              1.48753612908506148525e-2) * r + 1.36929880922735805310e-1) * r +
+            5.99832206555887937690e-1) * r + 1.0);
+  }
+  return (q < 0.0) ? -val : val;
+}
+
+}  // namespace parmvn::stats

@@ -1,0 +1,32 @@
+// Univariate standard normal distribution: density, CDF, log-CDF and
+// quantile function.
+//
+// These are the innermost scalar kernels of the SOV/QMC integrand
+// (Algorithm 3 of the paper evaluates Phi and Phi^-1 once per matrix entry),
+// so they must be both accurate to ~1 ulp and cheap.
+#pragma once
+
+namespace parmvn::stats {
+
+/// Standard normal density phi(x).
+double norm_pdf(double x) noexcept;
+
+/// Standard normal CDF Phi(x) = P(Z <= x). Accurate in both tails
+/// (implemented via erfc). Phi(-inf)=0, Phi(inf)=1.
+double norm_cdf(double x) noexcept;
+
+/// log Phi(x), stable for x << 0 where Phi underflows (asymptotic series in
+/// the far left tail).
+double norm_logcdf(double x) noexcept;
+
+/// Quantile function Phi^-1(p) for p in [0,1]; returns -inf/+inf at the
+/// endpoints. Wichura's AS241 (PPND16) rational approximations, |rel err|
+/// below ~1e-15 over the full range.
+double norm_quantile(double p) noexcept;
+
+/// Difference Phi(b) - Phi(a) computed to avoid cancellation when both
+/// arguments sit in the same tail (uses symmetry to evaluate in the left
+/// tail where erfc is accurate).
+double norm_cdf_diff(double a, double b) noexcept;
+
+}  // namespace parmvn::stats

@@ -1,0 +1,76 @@
+#include "stats/rng.hpp"
+
+#include "stats/normal.hpp"
+
+namespace parmvn::stats {
+
+namespace {
+inline u64 rotl(u64 x, int k) noexcept { return (x << k) | (x >> (64 - k)); }
+
+inline double u64_to_u01(u64 x) noexcept {
+  // Top 53 bits -> [0,1). Never returns exactly 1.
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+}  // namespace
+
+u64 splitmix64(u64& state) noexcept {
+  u64 z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+u64 mix64(u64 x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Xoshiro256pp::Xoshiro256pp(u64 seed) noexcept {
+  u64 sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+u64 Xoshiro256pp::next() noexcept {
+  const u64 result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const u64 t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256pp::next_u01() noexcept { return u64_to_u01(next()); }
+
+double Xoshiro256pp::next_normal() noexcept {
+  // Quantile transform; nudge away from 0 to keep the result finite.
+  double u = next_u01();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return norm_quantile(u);
+}
+
+Xoshiro256pp Xoshiro256pp::split() noexcept {
+  return Xoshiro256pp(next() ^ 0xa3ec647659359acdULL);
+}
+
+double counter_u01(u64 seed, i64 i, i64 j) noexcept {
+  // Two rounds of 64-bit mixing over a Weyl-combined key. One round leaves
+  // visible lattice correlations between adjacent (i,j); two rounds pass
+  // practical uniformity tests (see tests/test_stats_rng.cpp).
+  u64 key = seed;
+  key ^= mix64(static_cast<u64>(i) * 0x9e3779b97f4a7c15ULL + 0x243f6a8885a308d3ULL);
+  key ^= mix64(static_cast<u64>(j) * 0xd1b54a32d192ed03ULL + 0x452821e638d01377ULL);
+  const u64 r = mix64(key + 0x9e3779b97f4a7c15ULL);
+  return static_cast<double>(r >> 11) * 0x1.0p-53;
+}
+
+double counter_normal(u64 seed, i64 i, i64 j) noexcept {
+  double u = counter_u01(seed, i, j);
+  if (u <= 0.0) u = 0x1.0p-53;
+  return norm_quantile(u);
+}
+
+}  // namespace parmvn::stats

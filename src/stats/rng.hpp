@@ -1,0 +1,54 @@
+// Deterministic, splittable random number generation.
+//
+// Two layers:
+//  * Xoshiro256pp — fast sequential generator for bulk sampling.
+//  * counter_u01 — a counter-based (stateless) generator mapping
+//    (seed, i, j) -> U(0,1). The tile PMVN algorithm fills the random matrix
+//    R tile-by-tile from concurrent tasks; a counter-based generator makes
+//    every tile's content independent of task execution order, so parallel
+//    runs are bitwise reproducible (same property StarPU codes get from
+//    pre-generated R).
+#pragma once
+
+#include <array>
+
+#include "common/types.hpp"
+
+namespace parmvn::stats {
+
+/// SplitMix64 step; also used to derive seeds and as the mixing function of
+/// the counter-based generator.
+u64 splitmix64(u64& state) noexcept;
+
+/// Stateless mix of a 64-bit value (the finalizer of SplitMix64).
+u64 mix64(u64 x) noexcept;
+
+/// xoshiro256++ PRNG (Blackman & Vigna). Not cryptographic; excellent
+/// statistical quality for simulation work.
+class Xoshiro256pp {
+ public:
+  explicit Xoshiro256pp(u64 seed) noexcept;
+
+  u64 next() noexcept;
+
+  /// Uniform double in [0,1) with 53 random bits.
+  double next_u01() noexcept;
+
+  /// Standard normal via the quantile transform (reproducible across
+  /// platforms, unlike std::normal_distribution).
+  double next_normal() noexcept;
+
+  /// Long-jump equivalent: derive an independent stream.
+  [[nodiscard]] Xoshiro256pp split() noexcept;
+
+ private:
+  std::array<u64, 4> s_;
+};
+
+/// Counter-based U(0,1): pure function of (seed, i, j).
+double counter_u01(u64 seed, i64 i, i64 j) noexcept;
+
+/// Counter-based standard normal: pure function of (seed, i, j).
+double counter_normal(u64 seed, i64 i, i64 j) noexcept;
+
+}  // namespace parmvn::stats

@@ -1,0 +1,99 @@
+#include "tile/tile_matrix.hpp"
+
+#include "common/contracts.hpp"
+
+namespace parmvn::tile {
+
+TileMatrix::TileMatrix(rt::Runtime& rt, i64 rows, i64 cols, i64 tile_size,
+                       Layout layout, std::string name)
+    : rows_(rows), cols_(cols), nb_(tile_size), layout_(layout) {
+  PARMVN_EXPECTS(rows >= 1 && cols >= 1);
+  PARMVN_EXPECTS(tile_size >= 1);
+  if (layout_ == Layout::kLowerSymmetric) PARMVN_EXPECTS(rows == cols);
+  mt_ = (rows_ + nb_ - 1) / nb_;
+  nt_ = (cols_ + nb_ - 1) / nb_;
+
+  const i64 count =
+      (layout_ == Layout::kGeneral) ? mt_ * nt_ : mt_ * (mt_ + 1) / 2;
+  tiles_.reserve(static_cast<std::size_t>(count));
+  handles_.reserve(static_cast<std::size_t>(count));
+  for (i64 i = 0; i < mt_; ++i) {
+    const i64 jmax = (layout_ == Layout::kGeneral) ? nt_ - 1 : i;
+    for (i64 j = 0; j <= jmax; ++j) {
+      tiles_.emplace_back(tile_rows(i), tile_cols(j));
+      handles_.push_back(rt.register_data(name + "(" + std::to_string(i) +
+                                          "," + std::to_string(j) + ")"));
+    }
+  }
+}
+
+i64 TileMatrix::index(i64 i, i64 j) const {
+  PARMVN_EXPECTS(i >= 0 && i < mt_ && j >= 0 && j < nt_);
+  if (layout_ == Layout::kGeneral) return i * nt_ + j;
+  PARMVN_EXPECTS(i >= j);  // lower-symmetric: upper tiles are not stored
+  return i * (i + 1) / 2 + j;
+}
+
+la::MatrixView TileMatrix::tile(i64 i, i64 j) {
+  return tiles_[static_cast<std::size_t>(index(i, j))].view();
+}
+
+la::ConstMatrixView TileMatrix::tile(i64 i, i64 j) const {
+  return tiles_[static_cast<std::size_t>(index(i, j))].view();
+}
+
+rt::DataHandle TileMatrix::handle(i64 i, i64 j) const {
+  return handles_[static_cast<std::size_t>(index(i, j))];
+}
+
+la::Matrix TileMatrix::to_dense() const {
+  la::Matrix out(rows_, cols_);
+  for (i64 i = 0; i < mt_; ++i) {
+    const i64 jmax = (layout_ == Layout::kGeneral) ? nt_ - 1 : i;
+    for (i64 j = 0; j <= jmax; ++j) {
+      la::ConstMatrixView t = tile(i, j);
+      const bool diag_sym = (layout_ == Layout::kLowerSymmetric && i == j);
+      for (i64 jj = 0; jj < t.cols; ++jj) {
+        // Diagonal tiles of a lower-symmetric matrix only carry valid data
+        // in their lower triangle (e.g. after a Cholesky); mirror from the
+        // lower part and never read the strictly-upper entries.
+        const i64 ii0 = diag_sym ? jj : 0;
+        for (i64 ii = ii0; ii < t.rows; ++ii) {
+          const double v = t(ii, jj);
+          out(i * nb_ + ii, j * nb_ + jj) = v;
+          if (layout_ == Layout::kLowerSymmetric)
+            out(j * nb_ + jj, i * nb_ + ii) = v;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void TileMatrix::from_dense(la::ConstMatrixView a) {
+  PARMVN_EXPECTS(a.rows == rows_ && a.cols == cols_);
+  for (i64 i = 0; i < mt_; ++i) {
+    const i64 jmax = (layout_ == Layout::kGeneral) ? nt_ - 1 : i;
+    for (i64 j = 0; j <= jmax; ++j) {
+      la::MatrixView t = tile(i, j);
+      la::copy_into(a.sub(i * nb_, j * nb_, t.rows, t.cols), t);
+    }
+  }
+}
+
+void TileMatrix::generate_async(rt::Runtime& rt,
+                                const la::MatrixGenerator& gen) {
+  PARMVN_EXPECTS(gen.rows() == rows_ && gen.cols() == cols_);
+  for (i64 i = 0; i < mt_; ++i) {
+    const i64 jmax = (layout_ == Layout::kGeneral) ? nt_ - 1 : i;
+    for (i64 j = 0; j <= jmax; ++j) {
+      la::MatrixView t = tile(i, j);
+      const i64 row0 = i * nb_;
+      const i64 col0 = j * nb_;
+      rt.submit("generate", {{handle(i, j), rt::Access::kWrite}},
+                [&gen, t, row0, col0] { gen.fill(row0, col0, t); });
+    }
+  }
+}
+
+}  // namespace parmvn::tile

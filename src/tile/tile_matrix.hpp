@@ -1,0 +1,73 @@
+// Tile-matrix descriptor: the data structure Chameleon/HiCMA call a
+// "descriptor". A matrix is stored as independently allocated column-major
+// tiles, each registered with the runtime so tasks can declare per-tile
+// accesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "linalg/generator.hpp"
+#include "linalg/matrix.hpp"
+#include "runtime/runtime.hpp"
+
+namespace parmvn::tile {
+
+enum class Layout {
+  kGeneral,         // all mt x nt tiles allocated
+  kLowerSymmetric,  // square matrix; only tiles with i >= j allocated
+};
+
+class TileMatrix {
+ public:
+  /// Creates a zero-initialised tiled matrix and registers one data handle
+  /// per allocated tile with `rt`.
+  TileMatrix(rt::Runtime& rt, i64 rows, i64 cols, i64 tile_size,
+             Layout layout = Layout::kGeneral, std::string name = "tile");
+
+  [[nodiscard]] i64 rows() const noexcept { return rows_; }
+  [[nodiscard]] i64 cols() const noexcept { return cols_; }
+  [[nodiscard]] i64 tile_size() const noexcept { return nb_; }
+  [[nodiscard]] i64 row_tiles() const noexcept { return mt_; }
+  [[nodiscard]] i64 col_tiles() const noexcept { return nt_; }
+  [[nodiscard]] Layout layout() const noexcept { return layout_; }
+
+  /// Rows in tile-row i / cols in tile-col j (edge tiles may be short).
+  [[nodiscard]] i64 tile_rows(i64 i) const noexcept {
+    const i64 r = rows_ - i * nb_;
+    return r < nb_ ? r : nb_;
+  }
+  [[nodiscard]] i64 tile_cols(i64 j) const noexcept {
+    const i64 c = cols_ - j * nb_;
+    return c < nb_ ? c : nb_;
+  }
+
+  [[nodiscard]] la::MatrixView tile(i64 i, i64 j);
+  [[nodiscard]] la::ConstMatrixView tile(i64 i, i64 j) const;
+  [[nodiscard]] rt::DataHandle handle(i64 i, i64 j) const;
+
+  /// Gather into one dense matrix (symmetric layouts mirror the lower part).
+  [[nodiscard]] la::Matrix to_dense() const;
+
+  /// Scatter a dense matrix into tiles (shape must match).
+  void from_dense(la::ConstMatrixView a);
+
+  /// Fill tiles from a generator using one runtime task per tile
+  /// (the STARS-H pattern). Caller must rt.wait_all() afterwards.
+  void generate_async(rt::Runtime& rt, const la::MatrixGenerator& gen);
+
+ private:
+  [[nodiscard]] i64 index(i64 i, i64 j) const;
+
+  i64 rows_ = 0;
+  i64 cols_ = 0;
+  i64 nb_ = 0;
+  i64 mt_ = 0;
+  i64 nt_ = 0;
+  Layout layout_ = Layout::kGeneral;
+  std::vector<la::Matrix> tiles_;
+  std::vector<rt::DataHandle> handles_;
+};
+
+}  // namespace parmvn::tile

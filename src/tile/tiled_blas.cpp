@@ -1,0 +1,50 @@
+#include "tile/tiled_blas.hpp"
+
+#include "common/contracts.hpp"
+#include "linalg/blas.hpp"
+
+namespace parmvn::tile {
+
+void gemm_tiled_async(rt::Runtime& rt, double alpha, const TileMatrix& a,
+                      const TileMatrix& b, double beta, TileMatrix& c) {
+  PARMVN_EXPECTS(a.layout() == Layout::kGeneral);
+  PARMVN_EXPECTS(b.layout() == Layout::kGeneral);
+  PARMVN_EXPECTS(a.cols() == b.rows());
+  PARMVN_EXPECTS(c.rows() == a.rows() && c.cols() == b.cols());
+  PARMVN_EXPECTS(a.tile_size() == b.tile_size() &&
+                 a.tile_size() == c.tile_size());
+
+  for (i64 i = 0; i < c.row_tiles(); ++i) {
+    for (i64 j = 0; j < c.col_tiles(); ++j) {
+      for (i64 l = 0; l < a.col_tiles(); ++l) {
+        const double beta_l = (l == 0) ? beta : 1.0;
+        la::ConstMatrixView at = a.tile(i, l);
+        la::ConstMatrixView bt = b.tile(l, j);
+        la::MatrixView ct = c.tile(i, j);
+        rt.submit("gemm",
+                  {{a.handle(i, l), rt::Access::kRead},
+                   {b.handle(l, j), rt::Access::kRead},
+                   {c.handle(i, j), rt::Access::kReadWrite}},
+                  [=] {
+                    la::gemm(la::Trans::kNo, la::Trans::kNo, alpha, at, bt,
+                             beta_l, ct);
+                  });
+      }
+    }
+  }
+}
+
+void trsm_right_trans_tiled_async(rt::Runtime& rt, const TileMatrix& l,
+                                  i64 lk, TileMatrix& b) {
+  // B(:, k) <- B(:, k) * L(k,k)^-T for every tile-row of B's column k.
+  la::ConstMatrixView lkk = l.tile(lk, lk);
+  for (i64 i = 0; i < b.row_tiles(); ++i) {
+    la::MatrixView bt = b.tile(i, lk);
+    rt.submit("trsm",
+              {{l.handle(lk, lk), rt::Access::kRead},
+               {b.handle(i, lk), rt::Access::kReadWrite}},
+              [=] { la::trsm(la::Side::kRight, la::Trans::kYes, 1.0, lkk, bt); });
+  }
+}
+
+}  // namespace parmvn::tile

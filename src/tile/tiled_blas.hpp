@@ -1,0 +1,20 @@
+// Tile algorithms for dense BLAS-3 operations, submitted as runtime task
+// graphs (the Chameleon layer).
+#pragma once
+
+#include "tile/tile_matrix.hpp"
+
+namespace parmvn::tile {
+
+/// C = alpha A B + beta C on general tiled operands (no transposes; the
+/// library's tile algorithms only need the NN case). Asynchronous: caller
+/// must rt.wait_all().
+void gemm_tiled_async(rt::Runtime& rt, double alpha, const TileMatrix& a,
+                      const TileMatrix& b, double beta, TileMatrix& c);
+
+/// B <- B L^-T applied tile-wise, L lower-symmetric tiled (right-trans TRSM,
+/// the panel update of the tiled Cholesky). Asynchronous.
+void trsm_right_trans_tiled_async(rt::Runtime& rt, const TileMatrix& l,
+                                  i64 lk, TileMatrix& b);
+
+}  // namespace parmvn::tile

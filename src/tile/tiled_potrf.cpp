@@ -1,0 +1,66 @@
+#include "tile/tiled_potrf.hpp"
+
+#include "common/contracts.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/potrf.hpp"
+
+namespace parmvn::tile {
+
+void potrf_tiled(rt::Runtime& rt, TileMatrix& a) {
+  PARMVN_EXPECTS(a.layout() == Layout::kLowerSymmetric);
+  const i64 nt = a.row_tiles();
+
+  // Priorities mirror Chameleon's hints: the critical path (POTRF, then the
+  // TRSMs of the current panel) outranks trailing updates so the panel is
+  // released as early as possible.
+  for (i64 k = 0; k < nt; ++k) {
+    la::MatrixView akk = a.tile(k, k);
+    rt.submit("potrf", {{a.handle(k, k), rt::Access::kReadWrite}},
+              [akk] { la::potrf_lower_or_throw(akk); }, /*priority=*/3);
+
+    for (i64 i = k + 1; i < nt; ++i) {
+      la::ConstMatrixView lkk = a.tile(k, k);
+      la::MatrixView aik = a.tile(i, k);
+      rt.submit("trsm",
+                {{a.handle(k, k), rt::Access::kRead},
+                 {a.handle(i, k), rt::Access::kReadWrite}},
+                [lkk, aik] {
+                  la::trsm(la::Side::kRight, la::Trans::kYes, 1.0, lkk, aik);
+                },
+                /*priority=*/2);
+    }
+
+    for (i64 i = k + 1; i < nt; ++i) {
+      // Diagonal update: SYRK.
+      la::ConstMatrixView aik = a.tile(i, k);
+      la::MatrixView aii = a.tile(i, i);
+      rt.submit("syrk",
+                {{a.handle(i, k), rt::Access::kRead},
+                 {a.handle(i, i), rt::Access::kReadWrite}},
+                [aik, aii] { la::syrk(la::Trans::kNo, -1.0, aik, 1.0, aii); },
+                /*priority=*/1);
+      // Off-diagonal updates: GEMM.
+      for (i64 j = k + 1; j < i; ++j) {
+        la::ConstMatrixView ajk = a.tile(j, k);
+        la::MatrixView aij = a.tile(i, j);
+        rt.submit("gemm",
+                  {{a.handle(i, k), rt::Access::kRead},
+                   {a.handle(j, k), rt::Access::kRead},
+                   {a.handle(i, j), rt::Access::kReadWrite}},
+                  [aik, ajk, aij] {
+                    la::gemm(la::Trans::kNo, la::Trans::kYes, -1.0, aik, ajk,
+                             1.0, aij);
+                  },
+                  /*priority=*/1);
+      }
+    }
+  }
+  rt.wait_all();
+}
+
+double potrf_flops(i64 n) {
+  const double nd = static_cast<double>(n);
+  return nd * nd * nd / 3.0 + 0.5 * nd * nd + nd / 6.0;
+}
+
+}  // namespace parmvn::tile

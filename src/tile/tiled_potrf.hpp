@@ -1,0 +1,19 @@
+// Tiled Cholesky factorization (right-looking) over the task runtime —
+// step (a) of the paper's Algorithm 1 in its dense form.
+#pragma once
+
+#include "tile/tile_matrix.hpp"
+
+namespace parmvn::tile {
+
+/// Lower Cholesky of a lower-symmetric tiled SPD matrix, in place: on
+/// return the lower tiles hold L. Submits the full task DAG
+/// (POTRF/TRSM/SYRK/GEMM per tile) and waits for completion.
+/// Throws parmvn::Error if a diagonal block is not positive definite.
+void potrf_tiled(rt::Runtime& rt, TileMatrix& a);
+
+/// Flop count of a dense lower Cholesky (n^3/3 + lower order), used by the
+/// distributed-memory cost model and bench reporting.
+[[nodiscard]] double potrf_flops(i64 n);
+
+}  // namespace parmvn::tile

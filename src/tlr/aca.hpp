@@ -1,0 +1,25 @@
+// Adaptive Cross Approximation with partial pivoting: compress a block of a
+// generator-defined matrix without materialising it. This is the
+// O(nb * rank^2) alternative to dense-then-RRQR compression, useful when the
+// problem is too large to generate every dense tile (the STARS-H role).
+#pragma once
+
+#include "linalg/generator.hpp"
+#include "tlr/lr_tile.hpp"
+
+namespace parmvn::tlr {
+
+/// Approximate the (rows x cols) block of `gen` at offset (row0, col0) with
+/// a low-rank tile. Stops when the estimated Frobenius norm of the residual
+/// drops below `tol_rel` times the estimated block norm, or at `max_rank`
+/// (max_rank < 0 = uncapped).
+///
+/// ACA is a heuristic: for the smooth, asymptotically-decaying covariance
+/// kernels used here it matches RRQR ranks closely (tested), but it offers
+/// no worst-case guarantee — callers that need certainty use
+/// compress_block() on a generated dense tile.
+[[nodiscard]] LowRankTile aca_block(const la::MatrixGenerator& gen, i64 row0,
+                                    i64 col0, i64 rows, i64 cols,
+                                    double accuracy, i64 max_rank);
+
+}  // namespace parmvn::tlr

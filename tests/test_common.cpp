@@ -1,0 +1,90 @@
+// Tests for src/common: contracts, aligned allocation, env knobs, timer.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
+
+#include "common/aligned.hpp"
+#include "common/contracts.hpp"
+#include "common/env.hpp"
+#include "common/timer.hpp"
+
+namespace {
+
+using namespace parmvn;
+
+TEST(Contracts, ExpectsThrowsOnViolation) {
+  EXPECT_THROW(PARMVN_EXPECTS(1 == 2), Error);
+  EXPECT_NO_THROW(PARMVN_EXPECTS(1 == 1));
+}
+
+TEST(Contracts, EnsuresThrowsOnViolation) {
+  EXPECT_THROW(PARMVN_ENSURES(false), Error);
+  EXPECT_NO_THROW(PARMVN_ENSURES(true));
+}
+
+TEST(Contracts, MessageMentionsExpressionAndLocation) {
+  try {
+    PARMVN_EXPECTS(2 + 2 == 5);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos);
+    EXPECT_NE(what.find("test_common.cpp"), std::string::npos);
+  }
+}
+
+TEST(Aligned, VectorDataIs64ByteAligned) {
+  for (int n : {1, 3, 17, 1024, 100000}) {
+    aligned_vector<double> v(static_cast<std::size_t>(n), 1.0);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kSimdAlign, 0u);
+    EXPECT_DOUBLE_EQ(v.front(), 1.0);
+    EXPECT_DOUBLE_EQ(v.back(), 1.0);
+  }
+}
+
+TEST(Aligned, AllocatorEquality) {
+  AlignedAllocator<double> a;
+  AlignedAllocator<float> b;
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Env, FallbacksWhenUnset) {
+  ::unsetenv("PARMVN_TEST_UNSET_VAR");
+  EXPECT_EQ(env_i64("PARMVN_TEST_UNSET_VAR", 42), 42);
+  EXPECT_DOUBLE_EQ(env_f64("PARMVN_TEST_UNSET_VAR", 2.5), 2.5);
+  EXPECT_EQ(env_str("PARMVN_TEST_UNSET_VAR", "abc"), "abc");
+}
+
+TEST(Env, ReadsValuesWhenSet) {
+  ::setenv("PARMVN_TEST_VAR", "7", 1);
+  EXPECT_EQ(env_i64("PARMVN_TEST_VAR", 0), 7);
+  ::setenv("PARMVN_TEST_VAR", "1.5", 1);
+  EXPECT_DOUBLE_EQ(env_f64("PARMVN_TEST_VAR", 0.0), 1.5);
+  ::unsetenv("PARMVN_TEST_VAR");
+}
+
+TEST(Env, DefaultThreadsPositive) {
+  EXPECT_GE(default_num_threads(), 1);
+  ::setenv("PARMVN_NUM_THREADS", "3", 1);
+  EXPECT_EQ(default_num_threads(), 3);
+  ::unsetenv("PARMVN_NUM_THREADS");
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.015);
+}
+
+TEST(Timer, GlobalTimeMonotone) {
+  const double a = global_time_s();
+  const double b = global_time_s();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace

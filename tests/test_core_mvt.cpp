@@ -1,0 +1,192 @@
+// Tests for the multivariate Student-t extension and the negative-direction
+// excursion sets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "core/excursion.hpp"
+#include "core/mvt.hpp"
+#include "core/sov.hpp"
+#include "geo/covgen.hpp"
+#include "geo/geometry.hpp"
+#include "stats/covariance.hpp"
+#include "stats/normal.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace parmvn;
+using la::Matrix;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Matrix equicorrelated(i64 n, double rho) {
+  Matrix s(n, n);
+  for (i64 j = 0; j < n; ++j)
+    for (i64 i = 0; i < n; ++i) s(i, j) = (i == j) ? 1.0 : rho;
+  return s;
+}
+
+// Student-t CDF via the incomplete-beta-free formula: numerically integrate
+// the density (test oracle; fine trapezoid is plenty at these tolerances).
+double t_cdf_oracle(double x, double nu) {
+  auto pdf = [nu](double t) {
+    return std::exp(std::lgamma(0.5 * (nu + 1.0)) - std::lgamma(0.5 * nu)) /
+           std::sqrt(nu * M_PI) *
+           std::pow(1.0 + t * t / nu, -0.5 * (nu + 1.0));
+  };
+  const double lo = -60.0;
+  const int steps = 200000;
+  const double h = (x - lo) / steps;
+  double acc = 0.5 * (pdf(lo) + pdf(x));
+  for (int i = 1; i < steps; ++i) acc += pdf(lo + h * i);
+  return acc * h;
+}
+
+TEST(ChiScale, MedianAndMonotone) {
+  // chi_scale(0.5, nu) = sqrt(median(chi2_nu)/nu); median ~ nu(1-2/(9nu))^3.
+  for (double nu : {1.0, 3.0, 7.0, 30.0}) {
+    const double med = nu * std::pow(1.0 - 2.0 / (9.0 * nu), 3.0);
+    EXPECT_NEAR(core::chi_scale_from_uniform(0.5, nu),
+                std::sqrt(med / nu), 0.02)
+        << nu;
+    double prev = 0.0;
+    for (double u : {0.05, 0.3, 0.6, 0.9, 0.99}) {
+      const double s = core::chi_scale_from_uniform(u, nu);
+      EXPECT_GT(s, prev);
+      prev = s;
+    }
+  }
+}
+
+TEST(ChiScale, LargeNuConcentratesAtOne) {
+  // W/nu -> 1 as nu -> inf.
+  EXPECT_NEAR(core::chi_scale_from_uniform(0.2, 5000.0), 1.0, 0.02);
+  EXPECT_NEAR(core::chi_scale_from_uniform(0.8, 5000.0), 1.0, 0.02);
+}
+
+TEST(Mvt, UnivariateMatchesTCdf) {
+  Matrix s(1, 1);
+  s(0, 0) = 1.0;
+  const std::vector<double> a{-kInf};
+  for (double nu : {3.0, 8.0}) {
+    for (double x : {-1.0, 0.5, 2.0}) {
+      const std::vector<double> b{x};
+      core::SovOptions opts;
+      opts.samples_per_shift = 4000;
+      opts.shifts = 10;
+      const core::SovResult r = core::mvt_probability(s.view(), nu, a, b, opts);
+      EXPECT_NEAR(r.prob, t_cdf_oracle(x, nu), 5e-3)
+          << "nu=" << nu << " x=" << x;
+    }
+  }
+}
+
+TEST(Mvt, OrthantProbabilityMatchesGaussian) {
+  // Elliptical symmetry: orthant probabilities of the MVT equal the MVN
+  // ones — 1/(n+1) for exchangeable rho = 1/2.
+  for (i64 n : {4, 12}) {
+    Matrix s = equicorrelated(n, 0.5);
+    const std::vector<double> a(static_cast<std::size_t>(n), 0.0);
+    const std::vector<double> b(static_cast<std::size_t>(n), kInf);
+    core::SovOptions opts;
+    opts.samples_per_shift = 4000;
+    opts.shifts = 10;
+    const core::SovResult r = core::mvt_probability(s.view(), 4.0, a, b, opts);
+    EXPECT_NEAR(r.prob / (1.0 / static_cast<double>(n + 1)), 1.0, 0.05)
+        << "n=" << n;
+  }
+}
+
+TEST(Mvt, ConvergesToGaussianAsNuGrows) {
+  const i64 n = 6;
+  Matrix s = equicorrelated(n, 0.3);
+  const std::vector<double> a(static_cast<std::size_t>(n), -1.0);
+  const std::vector<double> b(static_cast<std::size_t>(n), 1.5);
+  core::SovOptions opts;
+  opts.samples_per_shift = 4000;
+  opts.shifts = 10;
+  const double gauss = core::mvn_probability(s.view(), a, b, opts).prob;
+  const double t3 = core::mvt_probability(s.view(), 3.0, a, b, opts).prob;
+  const double t50 = core::mvt_probability(s.view(), 50.0, a, b, opts).prob;
+  const double t500 = core::mvt_probability(s.view(), 500.0, a, b, opts).prob;
+  EXPECT_LT(std::fabs(t500 - gauss), std::fabs(t50 - gauss) + 5e-3);
+  EXPECT_LT(std::fabs(t50 - gauss), std::fabs(t3 - gauss));
+  EXPECT_NEAR(t500, gauss, 0.01);
+  // Heavy tails: the t box probability is smaller for a central box.
+  EXPECT_LT(t3, gauss);
+}
+
+TEST(Mvt, DomainChecks) {
+  Matrix s = equicorrelated(2, 0.2);
+  const std::vector<double> a(2, 0.0), b(2, 1.0);
+  EXPECT_THROW((void)core::mvt_probability(s.view(), 0.0, a, b), Error);
+  EXPECT_THROW((void)core::mvt_probability(s.view(), -2.0, a, b), Error);
+}
+
+TEST(CrdDirection, BelowIsReflectionOfAbove) {
+  const geo::LocationSet locs = geo::regular_grid(7, 7);
+  auto kernel = std::make_shared<stats::ExponentialKernel>(1.0, 0.2);
+  const geo::KernelCovGenerator cov(locs, kernel, 1e-6);
+  std::vector<double> mean(49);
+  for (std::size_t i = 0; i < 49; ++i) {
+    const double dx = locs[i].x - 0.4, dy = locs[i].y - 0.5;
+    mean[i] = 3.4 * std::exp(-10.0 * (dx * dx + dy * dy));
+  }
+  rt::Runtime rt(2);
+  core::CrdOptions above;
+  above.threshold = 1.0;
+  above.alpha = 0.1;
+  above.tile = 16;
+  above.pmvn.samples_per_shift = 300;
+  above.pmvn.shifts = 4;
+  above.pmvn.sampler = stats::SamplerKind::kRichtmyer;
+  const core::CrdResult ra = core::detect_confidence_region(rt, cov, mean, above);
+
+  // Below on the negated field at the negated threshold: identical results.
+  std::vector<double> neg_mean = mean;
+  for (double& m : neg_mean) m = -m;
+  core::CrdOptions below = above;
+  below.direction = core::CrdDirection::kBelow;
+  below.threshold = -1.0;
+  const core::CrdResult rb =
+      core::detect_confidence_region(rt, cov, neg_mean, below);
+
+  ASSERT_EQ(ra.region.size(), rb.region.size());
+  EXPECT_EQ(ra.region_size, rb.region_size);
+  for (std::size_t i = 0; i < ra.region.size(); ++i) {
+    EXPECT_EQ(ra.region[i], rb.region[i]) << i;
+    EXPECT_NEAR(ra.marginal[i], rb.marginal[i], 1e-12);
+    EXPECT_NEAR(ra.confidence[i], rb.confidence[i], 1e-12);
+  }
+}
+
+TEST(CrdDirection, BelowFindsLowRegions) {
+  // A field with a deep valley: E- at u = -1 should flag the valley only.
+  const geo::LocationSet locs = geo::regular_grid(8, 8);
+  auto kernel = std::make_shared<stats::ExponentialKernel>(1.0, 0.2);
+  const geo::KernelCovGenerator cov(locs, kernel, 1e-6);
+  std::vector<double> mean(64, 0.0);
+  for (std::size_t i = 0; i < 64; ++i) {
+    const double dx = locs[i].x - 0.7, dy = locs[i].y - 0.3;
+    mean[i] = -3.5 * std::exp(-12.0 * (dx * dx + dy * dy));
+  }
+  rt::Runtime rt(2);
+  core::CrdOptions below;
+  below.direction = core::CrdDirection::kBelow;
+  below.threshold = -1.0;
+  below.alpha = 0.1;
+  below.tile = 16;
+  below.pmvn.samples_per_shift = 300;
+  below.pmvn.shifts = 4;
+  const core::CrdResult r = core::detect_confidence_region(rt, cov, mean, below);
+  EXPECT_GT(r.region_size, 0);
+  EXPECT_LT(r.region_size, 32);
+  // Every flagged location sits in the valley.
+  for (std::size_t i = 0; i < 64; ++i)
+    if (r.region[i] != 0) EXPECT_LT(mean[i], -1.0) << i;
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+// Direct tests for the Algorithm-3 tile kernel (core/qmc_kernel.hpp): chain
+// equivalence with the sequential recursion, infinite-limit handling, dead
+// chains, prefix accumulation and tiling invariance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/qmc_kernel.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/potrf.hpp"
+#include "stats/normal.hpp"
+#include "stats/qmc.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace parmvn;
+using la::Matrix;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Matrix lower_factor(i64 n, u64 seed) {
+  stats::Xoshiro256pp g(seed);
+  Matrix m(n, n);
+  for (i64 j = 0; j < n; ++j)
+    for (i64 i = 0; i < n; ++i) m(i, j) = g.next_normal();
+  Matrix s(n, n);
+  la::gemm(la::Trans::kNo, la::Trans::kYes, 1.0, m.view(), m.view(), 0.0,
+           s.view());
+  for (i64 i = 0; i < n; ++i) s(i, i) += static_cast<double>(n);
+  la::potrf_lower_or_throw(s.view());
+  return s;
+}
+
+TEST(QmcKernel, MatchesScalarRecursionPerChain) {
+  const i64 m = 12;
+  const i64 mc = 5;
+  const Matrix l = lower_factor(m, 3);
+  const stats::PointSet pts(stats::SamplerKind::kPseudoMC, m, 64, 1, 9);
+  Matrix a(m, mc), b(m, mc), y(m, mc);
+  for (i64 j = 0; j < mc; ++j)
+    for (i64 i = 0; i < m; ++i) {
+      a(i, j) = -1.2 - 0.05 * static_cast<double>(i);
+      b(i, j) = 0.8 + 0.03 * static_cast<double>(j);
+    }
+  std::vector<double> p(static_cast<std::size_t>(mc), 1.0);
+  core::qmc_tile_kernel(l.view(), pts, 0, 0, a.view(), b.view(), y.view(),
+                        p.data(), nullptr);
+
+  // Scalar re-derivation of chain j = 2.
+  const i64 j = 2;
+  std::vector<double> yref(static_cast<std::size_t>(m));
+  double pref = 1.0;
+  for (i64 i = 0; i < m; ++i) {
+    double s = 0.0;
+    for (i64 k = 0; k < i; ++k) s += l(i, k) * yref[static_cast<std::size_t>(k)];
+    const double ai = (a(i, j) - s) / l(i, i);
+    const double bi = (b(i, j) - s) / l(i, i);
+    const double d = stats::norm_cdf_diff(ai, bi);
+    pref *= d;
+    const double u = std::clamp(stats::norm_cdf(ai) + pts.value(i, j) * d,
+                                1e-16, 1.0 - 1e-16);
+    yref[static_cast<std::size_t>(i)] = stats::norm_quantile(u);
+  }
+  EXPECT_NEAR(p[static_cast<std::size_t>(j)], pref, 1e-13);
+  for (i64 i = 0; i < m; ++i)
+    EXPECT_NEAR(y(i, j), yref[static_cast<std::size_t>(i)], 1e-11) << i;
+}
+
+TEST(QmcKernel, InfiniteLimitsContributeFactorOne) {
+  const i64 m = 8;
+  const Matrix l = lower_factor(m, 5);
+  const stats::PointSet pts(stats::SamplerKind::kRichtmyer, m, 16, 1, 1);
+  Matrix a(m, 2), b(m, 2), y(m, 2);
+  for (i64 j = 0; j < 2; ++j)
+    for (i64 i = 0; i < m; ++i) {
+      a(i, j) = -kInf;
+      b(i, j) = kInf;
+    }
+  std::vector<double> p(2, 0.7);
+  core::qmc_tile_kernel(l.view(), pts, 0, 0, a.view(), b.view(), y.view(),
+                        p.data(), nullptr);
+  // Unconstrained dimensions multiply p by exactly 1 but still draw y.
+  EXPECT_DOUBLE_EQ(p[0], 0.7);
+  EXPECT_DOUBLE_EQ(p[1], 0.7);
+  for (i64 i = 0; i < m; ++i) {
+    EXPECT_TRUE(std::isfinite(y(i, 0)));
+    EXPECT_NE(y(i, 0), 0.0);  // a genuine quantile draw, not a placeholder
+  }
+}
+
+TEST(QmcKernel, DeadChainZeroesProbabilityAndStaysFinite) {
+  const i64 m = 6;
+  const Matrix l = lower_factor(m, 7);
+  const stats::PointSet pts(stats::SamplerKind::kPseudoMC, m, 8, 1, 2);
+  Matrix a(m, 1), b(m, 1), y(m, 1);
+  for (i64 i = 0; i < m; ++i) {
+    a(i, 0) = -1.0;
+    b(i, 0) = 1.0;
+  }
+  a(2, 0) = 2.0;  // inverted box at row 2: d = 0 kills the chain
+  b(2, 0) = -2.0;
+  std::vector<double> p(1, 1.0);
+  core::qmc_tile_kernel(l.view(), pts, 0, 0, a.view(), b.view(), y.view(),
+                        p.data(), nullptr);
+  EXPECT_DOUBLE_EQ(p[0], 0.0);
+  for (i64 i = 0; i < m; ++i) EXPECT_TRUE(std::isfinite(y(i, 0))) << i;
+}
+
+TEST(QmcKernel, PrefixAccumulatorSumsRunningProducts) {
+  const i64 m = 10;
+  const i64 mc = 4;
+  const Matrix l = lower_factor(m, 11);
+  const stats::PointSet pts(stats::SamplerKind::kPseudoMC, m, 32, 1, 3);
+  Matrix a(m, mc), b(m, mc), y(m, mc);
+  for (i64 j = 0; j < mc; ++j)
+    for (i64 i = 0; i < m; ++i) {
+      a(i, j) = -0.5;
+      b(i, j) = kInf;
+    }
+  std::vector<double> p(static_cast<std::size_t>(mc), 1.0);
+  std::vector<double> acc(static_cast<std::size_t>(m), 0.0);
+  core::qmc_tile_kernel(l.view(), pts, 0, 0, a.view(), b.view(), y.view(),
+                        p.data(), acc.data());
+  // Last accumulator row equals the sum of the final products.
+  double total = 0.0;
+  for (double v : p) total += v;
+  EXPECT_NEAR(acc[static_cast<std::size_t>(m - 1)], total, 1e-13);
+  // Accumulated prefix sums are non-increasing in the row index.
+  for (i64 i = 1; i < m; ++i)
+    EXPECT_LE(acc[static_cast<std::size_t>(i)],
+              acc[static_cast<std::size_t>(i - 1)] + 1e-13);
+  // First row is exact: mc * (Phi(b') - Phi(a')) with a' = a / l00.
+  const double d0 = stats::norm_cdf_diff(-0.5 / l(0, 0), kInf);
+  EXPECT_NEAR(acc[0], static_cast<double>(mc) * d0, 1e-12);
+}
+
+TEST(QmcKernel, RowOffsetSelectsSamplerDimensions) {
+  // The same tile processed at different row offsets must consume different
+  // sampler dimensions (row0 + i), giving different chains.
+  const i64 m = 6;
+  const Matrix l = lower_factor(m, 13);
+  const stats::PointSet pts(stats::SamplerKind::kPseudoMC, 2 * m, 16, 1, 4);
+  Matrix a(m, 1), b(m, 1), y0(m, 1), y1(m, 1);
+  for (i64 i = 0; i < m; ++i) {
+    a(i, 0) = -1.0;
+    b(i, 0) = 1.0;
+  }
+  std::vector<double> p0(1, 1.0), p1(1, 1.0);
+  core::qmc_tile_kernel(l.view(), pts, 0, 0, a.view(), b.view(), y0.view(),
+                        p0.data(), nullptr);
+  core::qmc_tile_kernel(l.view(), pts, m, 0, a.view(), b.view(), y1.view(),
+                        p1.data(), nullptr);
+  bool differs = false;
+  for (i64 i = 0; i < m; ++i) differs |= (y0(i, 0) != y1(i, 0));
+  EXPECT_TRUE(differs);
+}
+
+TEST(QmcKernel, FlopEstimatePositiveAndQuadratic) {
+  EXPECT_GT(core::qmc_kernel_flops(64, 64), 0.0);
+  EXPECT_GT(core::qmc_kernel_flops(256, 64),
+            3.0 * core::qmc_kernel_flops(128, 64));
+}
+
+}  // namespace

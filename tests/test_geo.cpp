@@ -1,0 +1,313 @@
+// Tests for the geo module: location generators, Morton ordering,
+// covariance generators (SPD-ness), GP sampling, the posterior update of
+// eq. 7-8, the wind simulator and field I/O.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <numeric>
+
+#include "geo/covgen.hpp"
+#include "geo/field.hpp"
+#include "geo/geometry.hpp"
+#include "geo/io.hpp"
+#include "geo/wind.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/potrf.hpp"
+#include "stats/covariance.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace parmvn;
+using geo::LocationSet;
+using geo::Point;
+using la::Matrix;
+
+TEST(Geometry, RegularGridShapeAndBounds) {
+  const LocationSet g = geo::regular_grid(5, 4);
+  ASSERT_EQ(g.size(), 20u);
+  for (const Point& p : g) {
+    EXPECT_GT(p.x, 0.0);
+    EXPECT_LT(p.x, 1.0);
+    EXPECT_GT(p.y, 0.0);
+    EXPECT_LT(p.y, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(g[0].x, 0.1);
+  EXPECT_DOUBLE_EQ(g[0].y, 0.125);
+}
+
+TEST(Geometry, JitteredGridStaysNearCells) {
+  const LocationSet a = geo::regular_grid(10, 10);
+  const LocationSet b = geo::jittered_grid(10, 10, 0.4, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_LE(std::fabs(a[i].x - b[i].x), 0.4 * 0.1 + 1e-12);
+    EXPECT_LE(std::fabs(a[i].y - b[i].y), 0.4 * 0.1 + 1e-12);
+  }
+  // jitter 0 == regular grid
+  const LocationSet c = geo::jittered_grid(10, 10, 0.0, 7);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].x, c[i].x);
+  }
+}
+
+TEST(Geometry, UniformRandomDeterministicPerSeed) {
+  const LocationSet a = geo::uniform_random(100, 1);
+  const LocationSet b = geo::uniform_random(100, 1);
+  const LocationSet c = geo::uniform_random(100, 2);
+  ASSERT_EQ(a.size(), 100u);
+  EXPECT_DOUBLE_EQ(a[5].x, b[5].x);
+  EXPECT_NE(a[5].x, c[5].x);
+}
+
+TEST(Geometry, ScaleToBox) {
+  LocationSet pts = geo::uniform_random(50, 3);
+  geo::scale_to_box(pts, 34.0, 56.0, 16.0, 32.0);
+  double minx = 1e9, maxx = -1e9;
+  for (const Point& p : pts) {
+    minx = std::min(minx, p.x);
+    maxx = std::max(maxx, p.x);
+    EXPECT_GE(p.y, 16.0 - 1e-9);
+    EXPECT_LE(p.y, 32.0 + 1e-9);
+  }
+  EXPECT_NEAR(minx, 34.0, 1e-9);
+  EXPECT_NEAR(maxx, 56.0, 1e-9);
+}
+
+TEST(Geometry, MortonOrderIsAPermutationAndImprovesLocality) {
+  const LocationSet pts = geo::uniform_random(512, 9);
+  const std::vector<i64> perm = geo::morton_order(pts);
+  std::vector<i64> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (i64 i = 0; i < 512; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+
+  // Mean distance between index-neighbours should drop markedly vs the
+  // original (random) order.
+  auto mean_step = [&](const LocationSet& ordered) {
+    double acc = 0.0;
+    for (std::size_t i = 1; i < ordered.size(); ++i)
+      acc += geo::distance(ordered[i - 1], ordered[i]);
+    return acc / static_cast<double>(ordered.size() - 1);
+  };
+  const LocationSet morton = geo::apply_permutation(pts, perm);
+  EXPECT_LT(mean_step(morton), 0.4 * mean_step(pts));
+}
+
+TEST(Geometry, InvertPermutationRoundtrip) {
+  const std::vector<i64> perm{3, 1, 4, 0, 2};
+  const std::vector<i64> inv = geo::invert_permutation(perm);
+  for (i64 i = 0; i < 5; ++i)
+    EXPECT_EQ(inv[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])], i);
+}
+
+class CovSpdSweep
+    : public ::testing::TestWithParam<std::tuple<const char*, double>> {};
+
+TEST_P(CovSpdSweep, GeneratedCovarianceIsSpd) {
+  const auto [kind, range] = GetParam();
+  const LocationSet locs = geo::jittered_grid(12, 12, 0.3, 11);
+  auto kernel = stats::make_kernel(kind, 1.0, range,
+                                   std::string(kind) == "matern" ? 1.43391 : 1.5);
+  const geo::KernelCovGenerator gen(
+      locs, std::shared_ptr<const stats::CovKernel>(std::move(kernel)), 1e-8);
+  Matrix sigma = geo::dense_from_generator(gen);
+  EXPECT_EQ(la::potrf_lower(sigma.view()), 0)
+      << kind << " range=" << range << " must be SPD";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KernelsAndRanges, CovSpdSweep,
+    ::testing::Combine(::testing::Values("matern", "exponential", "gaussian"),
+                       ::testing::Values(0.033, 0.1, 0.234)));
+
+TEST(CovGen, SymmetryAndDiagonal) {
+  const LocationSet locs = geo::uniform_random(40, 13);
+  auto kernel = std::make_shared<stats::ExponentialKernel>(2.0, 0.1);
+  const geo::KernelCovGenerator gen(locs, kernel, 0.5);
+  EXPECT_DOUBLE_EQ(gen.entry(7, 7), 2.5);  // sigma2 + nugget
+  for (i64 i = 0; i < 10; ++i)
+    for (i64 j = 0; j < 10; ++j)
+      EXPECT_DOUBLE_EQ(gen.entry(i, j), gen.entry(j, i));
+}
+
+TEST(CovGen, PermutedGeneratorReindexes) {
+  const LocationSet locs = geo::uniform_random(20, 17);
+  auto kernel = std::make_shared<stats::ExponentialKernel>(1.0, 0.2);
+  const geo::KernelCovGenerator base(locs, kernel);
+  const std::vector<i64> perm{5, 3, 19, 0};
+  const geo::PermutedGenerator pg(base, perm);
+  EXPECT_EQ(pg.rows(), 4);
+  EXPECT_DOUBLE_EQ(pg.entry(0, 2), base.entry(5, 19));
+  EXPECT_DOUBLE_EQ(pg.entry(3, 3), base.entry(0, 0));
+}
+
+TEST(CovGen, CorrelationGeneratorUnitDiagonal) {
+  const LocationSet locs = geo::uniform_random(30, 19);
+  auto kernel = std::make_shared<stats::ExponentialKernel>(7.3, 0.15);
+  const geo::KernelCovGenerator base(locs, kernel, 0.2);
+  const geo::CorrelationGenerator corr(base);
+  for (i64 i = 0; i < 30; ++i) EXPECT_NEAR(corr.entry(i, i), 1.0, 1e-14);
+  for (i64 i = 0; i < 30; ++i)
+    for (i64 j = 0; j < i; ++j) {
+      EXPECT_LE(std::fabs(corr.entry(i, j)), 1.0);
+      EXPECT_NEAR(corr.entry(i, j),
+                  base.entry(i, j) / std::sqrt(base.entry(i, i) *
+                                               base.entry(j, j)),
+                  1e-14);
+    }
+}
+
+TEST(GpSampler, SampleCovarianceMatchesKernel) {
+  // Empirical covariance over many draws at a pair of nearby locations
+  // should approach the kernel value.
+  const LocationSet locs = geo::regular_grid(6, 6);
+  auto kernel = std::make_shared<stats::ExponentialKernel>(1.0, 0.3);
+  const geo::KernelCovGenerator gen(locs, kernel, 1e-10);
+  const geo::GpSampler sampler(gen);
+  const int draws = 4000;
+  double m0 = 0.0, m1 = 0.0, c01 = 0.0, v0 = 0.0;
+  stats::Xoshiro256pp seeds(23);
+  for (int d = 0; d < draws; ++d) {
+    const std::vector<double> x = sampler.draw(seeds.next());
+    m0 += x[0];
+    m1 += x[1];
+    c01 += x[0] * x[1];
+    v0 += x[0] * x[0];
+  }
+  m0 /= draws;
+  m1 /= draws;
+  const double cov01 = c01 / draws - m0 * m1;
+  const double var0 = v0 / draws - m0 * m0;
+  EXPECT_NEAR(m0, 0.0, 0.06);
+  EXPECT_NEAR(var0, 1.0, 0.08);
+  EXPECT_NEAR(cov01, gen.entry(0, 1), 0.08);
+}
+
+TEST(Posterior, ObservationShrinksVarianceAndPullsMean) {
+  const LocationSet locs = geo::regular_grid(5, 5);
+  auto kernel = std::make_shared<stats::ExponentialKernel>(1.0, 0.3);
+  const geo::KernelCovGenerator gen(locs, kernel, 1e-8);
+  const Matrix prior = geo::dense_from_generator(gen);
+  const i64 n = prior.rows();
+  std::vector<double> mu(static_cast<std::size_t>(n), 0.0);
+  const std::vector<i64> observed{0, 7, 13};
+  const std::vector<double> y{2.0, -1.0, 0.5};
+  const double tau2 = 0.25;
+  const geo::Posterior post =
+      geo::posterior_from_observations(prior, mu, observed, y, tau2);
+
+  // Variance shrinks everywhere, most at observed sites.
+  for (i64 i = 0; i < n; ++i)
+    EXPECT_LE(post.covariance(i, i), prior(i, i) + 1e-10);
+  for (const i64 idx : observed)
+    EXPECT_LT(post.covariance(idx, idx), 0.5 * prior(idx, idx));
+  // Posterior mean moves toward the data at observed sites.
+  EXPECT_GT(post.mean[0], 1.0);
+  EXPECT_LT(post.mean[7], -0.5);
+  // Posterior covariance stays SPD.
+  Matrix chol = la::to_matrix(post.covariance.view());
+  EXPECT_EQ(la::potrf_lower(chol.view()), 0);
+}
+
+TEST(Posterior, NoObservationsKeepsPrior) {
+  const LocationSet locs = geo::regular_grid(4, 4);
+  auto kernel = std::make_shared<stats::ExponentialKernel>(1.0, 0.2);
+  const geo::KernelCovGenerator gen(locs, kernel, 1e-8);
+  const Matrix prior = geo::dense_from_generator(gen);
+  std::vector<double> mu(16, 0.7);
+  const geo::Posterior post =
+      geo::posterior_from_observations(prior, mu, {}, {}, 0.25);
+  EXPECT_LT(la::frobenius_diff(post.covariance.view(), prior.view()),
+            1e-8 * la::frobenius_norm(prior.view()));
+  for (double m : post.mean) EXPECT_NEAR(m, 0.7, 1e-10);
+}
+
+TEST(FieldMoments, MatchesHandComputation) {
+  Matrix series(2, 3);
+  series(0, 0) = 1.0;
+  series(0, 1) = 2.0;
+  series(0, 2) = 3.0;
+  series(1, 0) = -1.0;
+  series(1, 1) = -1.0;
+  series(1, 2) = -1.0;
+  const geo::FieldMoments m = geo::field_moments(series);
+  EXPECT_DOUBLE_EQ(m.mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(m.mean[1], -1.0);
+  EXPECT_DOUBLE_EQ(m.sd[0], 1.0);
+  EXPECT_DOUBLE_EQ(m.sd[1], 0.0);
+
+  const std::vector<double> z = geo::standardize({3.0}, {{2.0}, {1.0}});
+  EXPECT_DOUBLE_EQ(z[0], 1.0);
+}
+
+TEST(Wind, DatasetShapesAndStandardization) {
+  geo::WindOptions opts;
+  opts.grid_nx = 12;
+  opts.grid_ny = 9;
+  opts.num_days = 20;
+  const geo::WindDataset data = geo::simulate_wind(opts);
+  const i64 n = 12 * 9;
+  ASSERT_EQ(static_cast<i64>(data.locations.size()), n);
+  ASSERT_EQ(data.daily_speed.rows(), n);
+  ASSERT_EQ(data.daily_speed.cols(), 20);
+  ASSERT_EQ(static_cast<i64>(data.target_standardized.size()), n);
+
+  // Speeds are physical.
+  for (i64 j = 0; j < 20; ++j)
+    for (i64 i = 0; i < n; ++i) EXPECT_GE(data.daily_speed(i, j), 0.0);
+
+  // Standardized target day has roughly zero mean and unit spread.
+  double mean = std::accumulate(data.target_standardized.begin(),
+                                data.target_standardized.end(), 0.0) /
+                static_cast<double>(n);
+  EXPECT_LT(std::fabs(mean), 0.6);
+
+  // Locations in the Saudi box.
+  for (const Point& p : data.locations) {
+    EXPECT_GE(p.x, 34.0 - 1e-9);
+    EXPECT_LE(p.x, 56.0 + 1e-9);
+    EXPECT_GE(p.y, 16.0 - 1e-9);
+    EXPECT_LE(p.y, 32.0 + 1e-9);
+  }
+}
+
+TEST(Wind, MeanFieldHasRidges) {
+  // The mean field must create spatial contrast (the raison d'etre of the
+  // confidence-region analysis): ridge peaks clearly above plains.
+  const double ridge = geo::wind_mean_speed(0.25, 0.85);
+  const double plain = geo::wind_mean_speed(0.55, 0.5);
+  EXPECT_GT(ridge, plain + 2.0);
+}
+
+TEST(FieldIo, CsvRoundtrip) {
+  const LocationSet locs = geo::uniform_random(25, 31);
+  std::vector<double> vals(25);
+  for (std::size_t i = 0; i < 25; ++i) vals[i] = std::sin(static_cast<double>(i));
+  const std::string path = "/tmp/parmvn_test_field.csv";
+  geo::write_field_csv(path, locs, vals);
+  const geo::FieldCsv back = geo::read_field_csv(path);
+  ASSERT_EQ(back.values.size(), 25u);
+  for (std::size_t i = 0; i < 25; ++i) {
+    EXPECT_DOUBLE_EQ(back.locations[i].x, locs[i].x);
+    EXPECT_DOUBLE_EQ(back.values[i], vals[i]);
+  }
+  std::remove(path.c_str());
+  EXPECT_THROW(geo::read_field_csv("/tmp/definitely_missing_parmvn.csv"),
+               Error);
+}
+
+TEST(FieldIo, AsciiHeatmapRendersExtremes) {
+  const LocationSet locs = geo::regular_grid(20, 10);
+  std::vector<double> vals(200, 0.0);
+  vals[0] = 10.0;  // bottom-left hot spot
+  const std::string map = geo::ascii_heatmap(locs, vals, 20, 10);
+  ASSERT_FALSE(map.empty());
+  // 10 rows of 20 chars + newlines.
+  EXPECT_EQ(map.size(), 210u);
+  EXPECT_NE(map.find('@'), std::string::npos);  // the hot spot
+  EXPECT_NE(map.find(' '), std::string::npos);  // the cold background
+}
+
+}  // namespace

@@ -1,0 +1,289 @@
+// Tests for the dense BLAS kernels against naive reference implementations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "linalg/blas.hpp"
+#include "linalg/matrix.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace parmvn;
+using la::ConstMatrixView;
+using la::Matrix;
+using la::MatrixView;
+using la::Side;
+using la::Trans;
+
+Matrix random_matrix(i64 m, i64 n, u64 seed) {
+  stats::Xoshiro256pp g(seed);
+  Matrix a(m, n);
+  for (i64 j = 0; j < n; ++j)
+    for (i64 i = 0; i < m; ++i) a(i, j) = 2.0 * g.next_u01() - 1.0;
+  return a;
+}
+
+Matrix random_spd(i64 n, u64 seed) {
+  Matrix m = random_matrix(n, n, seed);
+  Matrix a(n, n);
+  la::gemm(Trans::kNo, Trans::kYes, 1.0, m.view(), m.view(), 0.0, a.view());
+  for (i64 i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+void gemm_naive(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+                ConstMatrixView b, double beta, MatrixView c) {
+  for (i64 j = 0; j < c.cols; ++j)
+    for (i64 i = 0; i < c.rows; ++i) {
+      double s = 0.0;
+      const i64 kk = (ta == Trans::kNo) ? a.cols : a.rows;
+      for (i64 l = 0; l < kk; ++l) {
+        const double av = (ta == Trans::kNo) ? a(i, l) : a(l, i);
+        const double bv = (tb == Trans::kNo) ? b(l, j) : b(j, l);
+        s += av * bv;
+      }
+      c(i, j) = alpha * s + beta * c(i, j);
+    }
+}
+
+using GemmParam = std::tuple<i64, i64, i64, int, int>;  // m, n, k, ta, tb
+
+class GemmSweep : public ::testing::TestWithParam<GemmParam> {};
+
+TEST_P(GemmSweep, MatchesNaive) {
+  const auto [m, n, k, tai, tbi] = GetParam();
+  const Trans ta = tai != 0 ? Trans::kYes : Trans::kNo;
+  const Trans tb = tbi != 0 ? Trans::kYes : Trans::kNo;
+  const Matrix a = (ta == Trans::kNo) ? random_matrix(m, k, 1) : random_matrix(k, m, 1);
+  const Matrix b = (tb == Trans::kNo) ? random_matrix(k, n, 2) : random_matrix(n, k, 2);
+  Matrix c = random_matrix(m, n, 3);
+  Matrix c_ref = to_matrix(c.view());
+  la::gemm(ta, tb, 0.7, a.view(), b.view(), -1.3, c.view());
+  gemm_naive(ta, tb, 0.7, a.view(), b.view(), -1.3, c_ref.view());
+  EXPECT_LT(la::frobenius_diff(c.view(), c_ref.view()),
+            1e-12 * (1.0 + la::frobenius_norm(c_ref.view())));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSweep,
+    ::testing::Values(GemmParam{1, 1, 1, 0, 0}, GemmParam{5, 3, 4, 0, 0},
+                      GemmParam{17, 19, 23, 0, 0}, GemmParam{64, 64, 64, 0, 0},
+                      GemmParam{33, 65, 127, 0, 0}, GemmParam{40, 40, 1, 0, 0},
+                      GemmParam{1, 50, 60, 0, 0}, GemmParam{17, 19, 23, 1, 0},
+                      GemmParam{17, 19, 23, 0, 1}, GemmParam{17, 19, 23, 1, 1},
+                      GemmParam{64, 32, 96, 1, 1}, GemmParam{128, 4, 7, 1, 0}));
+
+TEST(Gemm, BetaZeroOverwritesGarbage) {
+  Matrix a = random_matrix(8, 8, 4);
+  Matrix b = random_matrix(8, 8, 5);
+  Matrix c(8, 8);
+  c(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  la::gemm(Trans::kNo, Trans::kNo, 1.0, a.view(), b.view(), 0.0, c.view());
+  EXPECT_FALSE(std::isnan(c(0, 0)));
+}
+
+TEST(Gemm, AlphaZeroOnlyScales) {
+  Matrix a = random_matrix(6, 4, 6);
+  Matrix b = random_matrix(4, 5, 7);
+  Matrix c = random_matrix(6, 5, 8);
+  Matrix expected = to_matrix(c.view());
+  la::gemm(Trans::kNo, Trans::kNo, 0.0, a.view(), b.view(), 2.0, c.view());
+  for (i64 j = 0; j < 5; ++j)
+    for (i64 i = 0; i < 6; ++i)
+      EXPECT_DOUBLE_EQ(c(i, j), 2.0 * expected(i, j));
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  Matrix a(3, 4), b(5, 6), c(3, 6);
+  EXPECT_THROW(
+      la::gemm(Trans::kNo, Trans::kNo, 1.0, a.view(), b.view(), 0.0, c.view()),
+      Error);
+}
+
+TEST(Gemm, PropagatesInfinityInC) {
+  // PMVN keeps -inf limits inside the A/B tile matrices; the GEMM update
+  // C <- C - L*Y must keep them -inf.
+  Matrix l = random_matrix(4, 4, 9);
+  Matrix y = random_matrix(4, 4, 10);
+  Matrix c = random_matrix(4, 4, 11);
+  c(2, 1) = -std::numeric_limits<double>::infinity();
+  la::gemm(Trans::kNo, Trans::kNo, -1.0, l.view(), y.view(), 1.0, c.view());
+  EXPECT_TRUE(std::isinf(c(2, 1)) && c(2, 1) < 0.0);
+  EXPECT_TRUE(std::isfinite(c(0, 0)));
+}
+
+class SyrkSweep : public ::testing::TestWithParam<std::tuple<i64, i64, int>> {};
+
+TEST_P(SyrkSweep, LowerMatchesGemmAndUpperUntouched) {
+  const auto [n, k, transi] = GetParam();
+  const Trans trans = transi != 0 ? Trans::kYes : Trans::kNo;
+  const Matrix a =
+      (trans == Trans::kNo) ? random_matrix(n, k, 21) : random_matrix(k, n, 21);
+  Matrix c = random_matrix(n, n, 22);
+  Matrix c_ref = to_matrix(c.view());
+  la::syrk(trans, -1.0, a.view(), 0.5, c.view());
+  gemm_naive(trans, trans == Trans::kNo ? Trans::kYes : Trans::kNo, -1.0,
+             a.view(), a.view(), 0.5, c_ref.view());
+  for (i64 j = 0; j < n; ++j) {
+    for (i64 i = 0; i < n; ++i) {
+      if (i >= j) {
+        EXPECT_NEAR(c(i, j), c_ref(i, j), 1e-12 * (1.0 + std::fabs(c_ref(i, j))))
+            << i << "," << j;
+      } else {
+        // Strictly upper part must be bit-identical to the input.
+        EXPECT_DOUBLE_EQ(c(i, j), random_matrix(n, n, 22)(i, j));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SyrkSweep,
+                         ::testing::Values(std::tuple<i64, i64, int>{1, 1, 0},
+                                           std::tuple<i64, i64, int>{7, 5, 0},
+                                           std::tuple<i64, i64, int>{130, 40, 0},
+                                           std::tuple<i64, i64, int>{64, 64, 1},
+                                           std::tuple<i64, i64, int>{129, 3, 1},
+                                           std::tuple<i64, i64, int>{20, 33, 1}));
+
+Matrix lower_from_spd(i64 n, u64 seed) {
+  // Well-conditioned lower-triangular factor: chol of an SPD matrix.
+  Matrix a = random_spd(n, seed);
+  // Cheap unblocked Cholesky for the test (avoid depending on potrf here).
+  for (i64 j = 0; j < n; ++j) {
+    for (i64 k = 0; k < j; ++k)
+      for (i64 i = j; i < n; ++i) a(i, j) -= a(j, k) * a(i, k);
+    const double d = std::sqrt(a(j, j));
+    a(j, j) = d;
+    for (i64 i = j + 1; i < n; ++i) a(i, j) /= d;
+  }
+  for (i64 j = 1; j < n; ++j)
+    for (i64 i = 0; i < j; ++i) a(i, j) = 0.0;
+  return a;
+}
+
+using TrsmParam = std::tuple<i64, i64, int, int>;  // n, nrhs, side, trans
+
+class TrsmSweep : public ::testing::TestWithParam<TrsmParam> {};
+
+TEST_P(TrsmSweep, SolveThenMultiplyRoundtrips) {
+  const auto [n, nrhs, sidei, transi] = GetParam();
+  const Side side = sidei != 0 ? Side::kRight : Side::kLeft;
+  const Trans trans = transi != 0 ? Trans::kYes : Trans::kNo;
+  const Matrix l = lower_from_spd(n, 31);
+  Matrix b = (side == Side::kLeft) ? random_matrix(n, nrhs, 32)
+                                   : random_matrix(nrhs, n, 32);
+  const Matrix b0 = to_matrix(b.view());
+  la::trsm(side, trans, 1.0, l.view(), b.view());
+  // Reconstruct: op(L) * X (left) or X * op(L) (right) must equal B0.
+  Matrix rec(b.rows(), b.cols());
+  if (side == Side::kLeft) {
+    gemm_naive(trans, Trans::kNo, 1.0, l.view(), b.view(), 0.0, rec.view());
+  } else {
+    gemm_naive(Trans::kNo, trans, 1.0, b.view(), l.view(), 0.0, rec.view());
+  }
+  EXPECT_LT(la::frobenius_diff(rec.view(), b0.view()),
+            1e-10 * (1.0 + la::frobenius_norm(b0.view())));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TrsmSweep,
+    ::testing::Combine(::testing::Values<i64>(1, 9, 64, 150, 257),
+                       ::testing::Values<i64>(1, 5, 33),
+                       ::testing::Values(0, 1), ::testing::Values(0, 1)));
+
+TEST(Trsm, AlphaScaling) {
+  const Matrix l = lower_from_spd(6, 33);
+  Matrix b1 = random_matrix(6, 3, 34);
+  Matrix b2 = to_matrix(b1.view());
+  la::trsm(Side::kLeft, Trans::kNo, 2.0, l.view(), b1.view());
+  la::trsm(Side::kLeft, Trans::kNo, 1.0, l.view(), b2.view());
+  for (i64 j = 0; j < 3; ++j)
+    for (i64 i = 0; i < 6; ++i) EXPECT_NEAR(b1(i, j), 2.0 * b2(i, j), 1e-12);
+}
+
+TEST(Gemv, BothTransposes) {
+  const Matrix a = random_matrix(7, 5, 41);
+  std::vector<double> x{1.0, -2.0, 0.5, 3.0, -1.0};
+  std::vector<double> y(7, 1.0);
+  la::gemv(Trans::kNo, 2.0, a.view(), x.data(), -1.0, y.data());
+  for (i64 i = 0; i < 7; ++i) {
+    double s = 0.0;
+    for (i64 j = 0; j < 5; ++j) s += a(i, j) * x[static_cast<std::size_t>(j)];
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)], 2.0 * s - 1.0, 1e-13);
+  }
+  std::vector<double> x2(7, 0.5);
+  std::vector<double> y2(5, 0.0);
+  la::gemv(Trans::kYes, 1.0, a.view(), x2.data(), 0.0, y2.data());
+  for (i64 j = 0; j < 5; ++j) {
+    double s = 0.0;
+    for (i64 i = 0; i < 7; ++i) s += a(i, j) * 0.5;
+    EXPECT_NEAR(y2[static_cast<std::size_t>(j)], s, 1e-13);
+  }
+}
+
+TEST(Norms, FrobeniusAndMaxAbs) {
+  Matrix a(2, 2);
+  a(0, 0) = 3.0;
+  a(1, 1) = -4.0;
+  EXPECT_DOUBLE_EQ(la::frobenius_norm(a.view()), 5.0);
+  EXPECT_DOUBLE_EQ(la::max_abs(a.view()), 4.0);
+  EXPECT_DOUBLE_EQ(la::frobenius_norm(Matrix(3, 3).view()), 0.0);
+}
+
+TEST(Norms, FrobeniusAvoidsOverflow) {
+  Matrix a(2, 1);
+  a(0, 0) = 1e200;
+  a(1, 0) = 1e200;
+  EXPECT_NEAR(la::frobenius_norm(a.view()) / (std::sqrt(2.0) * 1e200), 1.0,
+              1e-14);
+}
+
+TEST(MatrixViews, SubViewAliasesParent) {
+  Matrix a = random_matrix(6, 6, 50);
+  MatrixView s = a.sub(2, 3, 2, 2);
+  s(0, 0) = 42.0;
+  EXPECT_DOUBLE_EQ(a(2, 3), 42.0);
+  EXPECT_THROW(a.sub(5, 5, 3, 1), Error);
+}
+
+TEST(MatrixViews, TransposeInto) {
+  Matrix a = random_matrix(4, 7, 51);
+  Matrix at(7, 4);
+  la::transpose_into(a.view(), at.view());
+  for (i64 j = 0; j < 7; ++j)
+    for (i64 i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(at(j, i), a(i, j));
+}
+
+}  // namespace
+
+namespace {
+
+TEST(TrmmLower, IgnoresGarbageUpperTriangle) {
+  using namespace parmvn;
+  using la::Matrix;
+  const i64 n = 20;
+  Matrix l(n, n);
+  stats::Xoshiro256pp g(73);
+  for (i64 j = 0; j < n; ++j) {
+    l(j, j) = 1.0 + g.next_u01();
+    for (i64 i = j + 1; i < n; ++i) l(i, j) = g.next_normal() * 0.3;
+    for (i64 i = 0; i < j; ++i) l(i, j) = 1e9;  // poison the upper triangle
+  }
+  Matrix b(n, 5);
+  for (i64 j = 0; j < 5; ++j)
+    for (i64 i = 0; i < n; ++i) b(i, j) = g.next_normal();
+  Matrix expect(n, 5);
+  for (i64 j = 0; j < 5; ++j)
+    for (i64 i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (i64 k = 0; k <= i; ++k) s += l(i, k) * b(k, j);
+      expect(i, j) = s;
+    }
+  la::trmm_lower_notrans(l.view(), b.view());
+  EXPECT_LT(la::frobenius_diff(b.view(), expect.view()),
+            1e-12 * (1.0 + la::frobenius_norm(expect.view())));
+}
+
+}  // namespace

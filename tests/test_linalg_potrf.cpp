@@ -1,0 +1,102 @@
+// Tests for the blocked Cholesky factorization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "linalg/potrf.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace parmvn;
+using la::Matrix;
+using la::Trans;
+
+Matrix random_spd(i64 n, u64 seed, double diag_boost) {
+  stats::Xoshiro256pp g(seed);
+  Matrix m(n, n);
+  for (i64 j = 0; j < n; ++j)
+    for (i64 i = 0; i < n; ++i) m(i, j) = 2.0 * g.next_u01() - 1.0;
+  Matrix a(n, n);
+  la::gemm(Trans::kNo, Trans::kYes, 1.0, m.view(), m.view(), 0.0, a.view());
+  for (i64 i = 0; i < n; ++i) a(i, i) += diag_boost;
+  return a;
+}
+
+class PotrfSizes : public ::testing::TestWithParam<i64> {};
+
+TEST_P(PotrfSizes, ReconstructsInput) {
+  const i64 n = GetParam();
+  Matrix a = random_spd(n, 100 + static_cast<u64>(n), static_cast<double>(n));
+  const Matrix a0 = la::to_matrix(a.view());
+  ASSERT_EQ(la::potrf_lower(a.view()), 0);
+  la::zero_strict_upper(a.view());
+  Matrix rec(n, n);
+  la::gemm(Trans::kNo, Trans::kYes, 1.0, a.view(), a.view(), 0.0, rec.view());
+  EXPECT_LT(la::frobenius_diff(rec.view(), a0.view()),
+            1e-11 * la::frobenius_norm(a0.view()))
+      << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PotrfSizes,
+                         ::testing::Values<i64>(1, 2, 3, 7, 16, 63, 64, 65, 127,
+                                                128, 129, 200, 256, 300, 517));
+
+TEST(Potrf, DiagonalMatrixGivesSqrtDiagonal) {
+  Matrix a(4, 4);
+  for (i64 i = 0; i < 4; ++i) a(i, i) = static_cast<double>((i + 1) * (i + 1));
+  ASSERT_EQ(la::potrf_lower(a.view()), 0);
+  for (i64 i = 0; i < 4; ++i)
+    EXPECT_DOUBLE_EQ(a(i, i), static_cast<double>(i + 1));
+}
+
+TEST(Potrf, NonSpdReportsPivot) {
+  Matrix a(3, 3);
+  a(0, 0) = 1.0;
+  a(1, 1) = -1.0;  // indefinite at the second pivot
+  a(2, 2) = 1.0;
+  EXPECT_EQ(la::potrf_lower(a.view()), 2);
+}
+
+TEST(Potrf, NonSpdLargeBlockedPath) {
+  // Failure beyond the first block exercises the blocked update path.
+  Matrix a = random_spd(200, 7, 200.0);
+  a(170, 170) = -1e6;
+  const i64 info = la::potrf_lower(a.view());
+  EXPECT_GT(info, 128);  // inside a later block
+  EXPECT_LE(info, 200);
+}
+
+TEST(Potrf, ThrowingWrapper) {
+  Matrix bad(2, 2);
+  bad(0, 0) = -1.0;
+  EXPECT_THROW(la::potrf_lower_or_throw(bad.view()), Error);
+  Matrix good = random_spd(10, 3, 10.0);
+  EXPECT_NO_THROW(la::potrf_lower_or_throw(good.view()));
+}
+
+TEST(Potrf, NanInputRejected) {
+  Matrix a = random_spd(8, 5, 8.0);
+  a(4, 4) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_NE(la::potrf_lower(a.view()), 0);
+}
+
+TEST(Potrf, NonSquareRejected) {
+  Matrix a(3, 4);
+  EXPECT_THROW((void)la::potrf_lower(a.view()), Error);
+}
+
+TEST(ZeroStrictUpper, OnlyUpperCleared) {
+  Matrix a(3, 3);
+  for (i64 j = 0; j < 3; ++j)
+    for (i64 i = 0; i < 3; ++i) a(i, j) = 1.0;
+  la::zero_strict_upper(a.view());
+  EXPECT_DOUBLE_EQ(a(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(a(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(a(1, 2), 0.0);
+  EXPECT_DOUBLE_EQ(a(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a(2, 0), 1.0);
+}
+
+}  // namespace

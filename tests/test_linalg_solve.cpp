@@ -1,0 +1,91 @@
+// Tests for SPD inverse / Cholesky-based solves.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "linalg/potrf.hpp"
+#include "linalg/solve.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace parmvn;
+using la::Matrix;
+using la::Trans;
+
+Matrix random_spd(i64 n, u64 seed) {
+  stats::Xoshiro256pp g(seed);
+  Matrix m(n, n);
+  for (i64 j = 0; j < n; ++j)
+    for (i64 i = 0; i < n; ++i) m(i, j) = 2.0 * g.next_u01() - 1.0;
+  Matrix a(n, n);
+  la::gemm(Trans::kNo, Trans::kYes, 1.0, m.view(), m.view(), 0.0, a.view());
+  for (i64 i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+TEST(SpdInverse, TimesOriginalIsIdentity) {
+  for (i64 n : {1, 4, 33, 100, 180}) {
+    const Matrix a = random_spd(n, 200 + static_cast<u64>(n));
+    Matrix inv = la::to_matrix(a.view());
+    la::spd_inverse(inv.view());
+    Matrix prod(n, n);
+    la::gemm(Trans::kNo, Trans::kNo, 1.0, a.view(), inv.view(), 0.0,
+             prod.view());
+    for (i64 i = 0; i < n; ++i) prod(i, i) -= 1.0;
+    EXPECT_LT(la::frobenius_norm(prod.view()), 1e-9 * static_cast<double>(n))
+        << "n=" << n;
+  }
+}
+
+TEST(SpdInverse, ResultIsSymmetric) {
+  Matrix a = random_spd(50, 9);
+  la::spd_inverse(a.view());
+  for (i64 j = 0; j < 50; ++j)
+    for (i64 i = j + 1; i < 50; ++i) EXPECT_DOUBLE_EQ(a(i, j), a(j, i));
+}
+
+TEST(SpdInverse, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = -2.0;
+  EXPECT_THROW(la::spd_inverse(a.view()), Error);
+}
+
+TEST(CholSolve, SolvesLinearSystem) {
+  const i64 n = 40;
+  const Matrix a = random_spd(n, 17);
+  Matrix l = la::to_matrix(a.view());
+  la::potrf_lower_or_throw(l.view());
+  stats::Xoshiro256pp g(18);
+  std::vector<double> x_true(static_cast<std::size_t>(n));
+  for (double& v : x_true) v = g.next_normal();
+  std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+  la::gemv(Trans::kNo, 1.0, a.view(), x_true.data(), 0.0, b.data());
+  la::chol_solve_inplace(l.view(), b.data());
+  for (i64 i = 0; i < n; ++i)
+    EXPECT_NEAR(b[static_cast<std::size_t>(i)],
+                x_true[static_cast<std::size_t>(i)], 1e-9);
+}
+
+TEST(CholLogdet, MatchesDiagonalCase) {
+  Matrix a(3, 3);
+  a(0, 0) = 4.0;
+  a(1, 1) = 9.0;
+  a(2, 2) = 16.0;
+  Matrix l = la::to_matrix(a.view());
+  la::potrf_lower_or_throw(l.view());
+  EXPECT_NEAR(la::chol_logdet(l.view()), std::log(4.0 * 9.0 * 16.0), 1e-12);
+}
+
+TEST(CholLogdet, GeneralSpdAgainstProductOfPivots) {
+  const Matrix a = random_spd(25, 21);
+  Matrix l = la::to_matrix(a.view());
+  la::potrf_lower_or_throw(l.view());
+  double expect = 0.0;
+  for (i64 i = 0; i < 25; ++i) expect += 2.0 * std::log(l(i, i));
+  EXPECT_NEAR(la::chol_logdet(l.view()), expect, 1e-12);
+}
+
+}  // namespace

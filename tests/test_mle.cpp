@@ -1,0 +1,133 @@
+// Tests for the Nelder-Mead optimizer and the Matern MLE fit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "geo/covgen.hpp"
+#include "geo/field.hpp"
+#include "geo/geometry.hpp"
+#include "mle/fit.hpp"
+#include "mle/loglik.hpp"
+#include "mle/neldermead.hpp"
+#include "stats/covariance.hpp"
+
+namespace {
+
+using namespace parmvn;
+
+TEST(NelderMead, QuadraticBowl) {
+  auto f = [](const std::vector<double>& x) {
+    return (x[0] - 3.0) * (x[0] - 3.0) + 2.0 * (x[1] + 1.0) * (x[1] + 1.0);
+  };
+  const mle::NelderMeadResult r = mle::nelder_mead(f, {0.0, 0.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-4);
+  EXPECT_NEAR(r.x[1], -1.0, 1e-4);
+  EXPECT_NEAR(r.fmin, 0.0, 1e-7);
+}
+
+TEST(NelderMead, Rosenbrock2d) {
+  auto f = [](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  mle::NelderMeadOptions opts;
+  opts.max_evals = 6000;
+  opts.xtol = 1e-9;
+  const mle::NelderMeadResult r = mle::nelder_mead(f, {-1.2, 1.0}, opts);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.x[1], 1.0, 2e-3);
+}
+
+TEST(NelderMead, OneDimensional) {
+  auto f = [](const std::vector<double>& x) { return std::cosh(x[0] - 0.5); };
+  const mle::NelderMeadResult r = mle::nelder_mead(f, {5.0});
+  EXPECT_NEAR(r.x[0], 0.5, 1e-4);
+}
+
+TEST(NelderMead, RespectsEvalBudget) {
+  int evals = 0;
+  auto f = [&evals](const std::vector<double>& x) {
+    ++evals;
+    return x[0] * x[0];
+  };
+  mle::NelderMeadOptions opts;
+  opts.max_evals = 25;
+  (void)mle::nelder_mead(f, {100.0}, opts);
+  EXPECT_LE(evals, 25 + 3);  // small overshoot from the final shrink step
+}
+
+TEST(Loglik, IdentityCovarianceClosedForm) {
+  // Far-apart locations + unit variance exponential kernel ~ identity.
+  geo::LocationSet locs;
+  for (int i = 0; i < 8; ++i)
+    locs.push_back({static_cast<double>(i) * 100.0, 0.0});
+  const stats::ExponentialKernel kernel(1.0, 0.01);
+  std::vector<double> z{0.5, -1.0, 2.0, 0.0, 1.0, -0.5, 0.25, -2.0};
+  double sumsq = 0.0;
+  for (double v : z) sumsq += v * v;
+  const double expect =
+      -0.5 * (sumsq + 8.0 * std::log(2.0 * M_PI));  // logdet = 0
+  EXPECT_NEAR(mle::gaussian_loglik(locs, z, kernel, 0.0), expect, 1e-9);
+}
+
+TEST(Loglik, HigherUnderTrueModelThanWrongModel) {
+  // Average over several realizations: the true kernel should win.
+  const geo::LocationSet locs = geo::regular_grid(10, 10);
+  auto true_kernel = std::make_shared<stats::ExponentialKernel>(1.0, 0.2);
+  const geo::KernelCovGenerator gen(locs, true_kernel, 1e-8);
+  const geo::GpSampler sampler(gen);
+  const stats::ExponentialKernel right(1.0, 0.2);
+  const stats::ExponentialKernel wrong(1.0, 0.005);
+  double ll_right = 0.0, ll_wrong = 0.0;
+  for (u64 seed = 1; seed <= 5; ++seed) {
+    const std::vector<double> z = sampler.draw(seed);
+    ll_right += mle::gaussian_loglik(locs, z, right, 1e-8);
+    ll_wrong += mle::gaussian_loglik(locs, z, wrong, 1e-8);
+  }
+  EXPECT_GT(ll_right, ll_wrong);
+}
+
+TEST(MaternFit, RecoversRangeOrderOfMagnitude) {
+  // Single-realization MLE is noisy; require the right ballpark, which is
+  // all the downstream CRD pipeline needs.
+  const geo::LocationSet locs = geo::regular_grid(16, 16);
+  auto kernel = std::make_shared<stats::MaternKernel>(1.0, 0.12, 1.0);
+  const geo::KernelCovGenerator gen(locs, kernel, 1e-8);
+  const geo::GpSampler sampler(gen);
+  const std::vector<double> z = sampler.draw(99);
+
+  mle::MaternFitOptions opts;
+  opts.init_sigma2 = 0.5;
+  opts.init_range = 0.05;
+  opts.init_smoothness = 1.0;
+  opts.fix_smoothness = true;
+  const mle::MaternFit fit = mle::fit_matern(locs, z, opts);
+
+  EXPECT_GT(fit.range, 0.12 / 3.0);
+  EXPECT_LT(fit.range, 0.12 * 3.0);
+  EXPECT_GT(fit.sigma2, 1.0 / 4.0);
+  EXPECT_LT(fit.sigma2, 4.0);
+  EXPECT_DOUBLE_EQ(fit.smoothness, 1.0);
+}
+
+TEST(MaternFit, FitLikelihoodBeatsInitialGuess) {
+  const geo::LocationSet locs = geo::regular_grid(12, 12);
+  auto kernel = std::make_shared<stats::MaternKernel>(2.0, 0.15, 0.5);
+  const geo::KernelCovGenerator gen(locs, kernel, 1e-8);
+  const geo::GpSampler sampler(gen);
+  const std::vector<double> z = sampler.draw(7);
+
+  mle::MaternFitOptions opts;
+  opts.init_sigma2 = 0.3;
+  opts.init_range = 0.02;
+  opts.init_smoothness = 0.5;
+  opts.fix_smoothness = true;
+  const mle::MaternFit fit = mle::fit_matern(locs, z, opts);
+  const stats::MaternKernel init_kernel(0.3, 0.02, 0.5);
+  EXPECT_GE(fit.loglik, mle::gaussian_loglik(locs, z, init_kernel, 1e-8));
+}
+
+}  // namespace

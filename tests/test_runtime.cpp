@@ -1,0 +1,243 @@
+// Tests for the task runtime: dependency inference (RAW/WAR/WAW), sequential
+// consistency under concurrency, error cancellation, tracing, inline mode.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "runtime/runtime.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace parmvn;
+using rt::Access;
+using rt::DataHandle;
+using rt::Runtime;
+
+TEST(Runtime, RawDependencyOrdersWriteBeforeRead) {
+  Runtime rt(4);
+  auto h = rt.register_data("x");
+  int x = 0;
+  int seen = -1;
+  rt.submit("write", {{h, Access::kWrite}}, [&] { x = 42; });
+  rt.submit("read", {{h, Access::kRead}}, [&] { seen = x; });
+  rt.wait_all();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(Runtime, ChainOfReadWritesIsSequential) {
+  Runtime rt(4);
+  auto h = rt.register_data();
+  std::vector<int> order;
+  for (int i = 0; i < 64; ++i) {
+    rt.submit("step", {{h, Access::kReadWrite}}, [&order, i] {
+      order.push_back(i);
+    });
+  }
+  rt.wait_all();
+  std::vector<int> expect(64);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(Runtime, WarHazardWriterWaitsForReaders) {
+  Runtime rt(4);
+  auto h = rt.register_data();
+  std::atomic<int> readers_done{0};
+  int value = 7;
+  std::vector<int> reads(8, -1);
+  for (int i = 0; i < 8; ++i) {
+    rt.submit("read", {{h, Access::kRead}}, [&, i] {
+      reads[static_cast<std::size_t>(i)] = value;
+      readers_done.fetch_add(1);
+    });
+  }
+  int readers_at_write = -1;
+  rt.submit("write", {{h, Access::kWrite}}, [&] {
+    readers_at_write = readers_done.load();
+    value = 99;
+  });
+  rt.wait_all();
+  EXPECT_EQ(readers_at_write, 8) << "writer must wait for all prior readers";
+  for (int r : reads) EXPECT_EQ(r, 7);
+}
+
+TEST(Runtime, DiamondDependency) {
+  Runtime rt(4);
+  auto a = rt.register_data();
+  auto b = rt.register_data();
+  auto c = rt.register_data();
+  double va = 0, vb = 0, vc = 0, vd = 0;
+  rt.submit("top", {{a, Access::kWrite}}, [&] { va = 2.0; });
+  rt.submit("left", {{a, Access::kRead}, {b, Access::kWrite}},
+            [&] { vb = va * 3.0; });
+  rt.submit("right", {{a, Access::kRead}, {c, Access::kWrite}},
+            [&] { vc = va + 5.0; });
+  rt.submit("bottom", {{b, Access::kRead}, {c, Access::kRead}},
+            [&] { vd = vb + vc; });
+  rt.wait_all();
+  EXPECT_DOUBLE_EQ(vd, 13.0);
+}
+
+// Sequential-consistency stress: a random DAG of arithmetic tasks over a
+// bank of cells must produce identical results threaded and inline, because
+// inline mode executes in submission order (the reference semantics).
+double run_random_program(int threads, u64 seed) {
+  constexpr int kCells = 24;
+  constexpr int kTasks = 800;
+  Runtime rt(threads);
+  std::vector<DataHandle> handles;
+  std::vector<double> cells(kCells);
+  for (int i = 0; i < kCells; ++i) {
+    handles.push_back(rt.register_data());
+    cells[static_cast<std::size_t>(i)] = i + 1;
+  }
+  stats::Xoshiro256pp g(seed);
+  for (int t = 0; t < kTasks; ++t) {
+    const int dst = static_cast<int>(g.next() % kCells);
+    const int src1 = static_cast<int>(g.next() % kCells);
+    const int src2 = static_cast<int>(g.next() % kCells);
+    const double coef = g.next_u01();
+    std::vector<rt::DataAccess> acc{{handles[static_cast<std::size_t>(dst)],
+                                     Access::kReadWrite}};
+    if (src1 != dst)
+      acc.push_back({handles[static_cast<std::size_t>(src1)], Access::kRead});
+    if (src2 != dst && src2 != src1)
+      acc.push_back({handles[static_cast<std::size_t>(src2)], Access::kRead});
+    rt.submit("mix", acc, [&cells, dst, src1, src2, coef] {
+      const double a = cells[static_cast<std::size_t>(src1)];
+      const double b = cells[static_cast<std::size_t>(src2)];
+      double& d = cells[static_cast<std::size_t>(dst)];
+      d = 0.5 * d + coef * std::sin(a) + (1.0 - coef) * std::cos(b);
+    });
+  }
+  rt.wait_all();
+  double checksum = 0.0;
+  for (double v : cells) checksum += v;
+  return checksum;
+}
+
+TEST(Runtime, SequentialConsistencyStress) {
+  for (u64 seed : {1ull, 2ull, 3ull}) {
+    const double inline_result = run_random_program(0, seed);
+    const double t2 = run_random_program(2, seed);
+    const double t8 = run_random_program(8, seed);
+    EXPECT_DOUBLE_EQ(inline_result, t2) << "seed=" << seed;
+    EXPECT_DOUBLE_EQ(inline_result, t8) << "seed=" << seed;
+  }
+}
+
+TEST(Runtime, IndependentTasksAllRun) {
+  Runtime rt(8);
+  std::atomic<int> count{0};
+  std::vector<DataHandle> handles;
+  for (int i = 0; i < 100; ++i) handles.push_back(rt.register_data());
+  for (int i = 0; i < 100; ++i) {
+    rt.submit("inc", {{handles[static_cast<std::size_t>(i)], Access::kWrite}},
+              [&] { count.fetch_add(1); });
+  }
+  rt.wait_all();
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_GE(rt.tasks_executed(), 100);
+}
+
+TEST(Runtime, ExceptionPropagatesAndCancels) {
+  Runtime rt(2);
+  auto h = rt.register_data();
+  std::atomic<int> ran{0};
+  rt.submit("boom", {{h, Access::kWrite}},
+            [] { throw Error("task exploded"); });
+  // 50 dependent tasks should all be cancelled (or at least not crash).
+  for (int i = 0; i < 50; ++i) {
+    rt.submit("after", {{h, Access::kReadWrite}}, [&] { ran.fetch_add(1); });
+  }
+  EXPECT_THROW(rt.wait_all(), Error);
+  EXPECT_EQ(ran.load(), 0) << "tasks after the failure must be cancelled";
+}
+
+TEST(Runtime, UsableAfterErrorEpoch) {
+  Runtime rt(2);
+  auto h = rt.register_data();
+  rt.submit("boom", {{h, Access::kWrite}}, [] { throw Error("x"); });
+  EXPECT_THROW(rt.wait_all(), Error);
+  int val = 0;
+  rt.submit("ok", {{h, Access::kWrite}}, [&] { val = 5; });
+  rt.wait_all();
+  EXPECT_EQ(val, 5);
+}
+
+TEST(Runtime, WaitAllIdempotentAndReusable) {
+  Runtime rt(2);
+  auto h = rt.register_data();
+  int x = 0;
+  rt.submit("a", {{h, Access::kReadWrite}}, [&] { x += 1; });
+  rt.wait_all();
+  rt.wait_all();
+  rt.submit("b", {{h, Access::kReadWrite}}, [&] { x += 10; });
+  rt.wait_all();
+  EXPECT_EQ(x, 11);
+}
+
+TEST(Runtime, InlineModeExecutesImmediately) {
+  Runtime rt(0);
+  auto h = rt.register_data();
+  int x = 0;
+  rt.submit("now", {{h, Access::kWrite}}, [&] { x = 1; });
+  EXPECT_EQ(x, 1);  // no wait_all needed
+  rt.wait_all();
+  EXPECT_EQ(rt.num_threads(), 0);
+}
+
+TEST(Runtime, InlineModeErrorSurfacesAtWait) {
+  Runtime rt(0);
+  auto h = rt.register_data();
+  rt.submit("boom", {{h, Access::kWrite}}, [] { throw Error("inline"); });
+  int ran = 0;
+  rt.submit("after", {{h, Access::kRead}}, [&] { ran = 1; });
+  EXPECT_THROW(rt.wait_all(), Error);
+  EXPECT_EQ(ran, 0);
+}
+
+TEST(Runtime, TraceRecordsTasks) {
+  Runtime rt(2, /*enable_trace=*/true);
+  auto h = rt.register_data();
+  for (int i = 0; i < 5; ++i)
+    rt.submit("traced", {{h, Access::kReadWrite}}, [] {});
+  rt.wait_all();
+  ASSERT_EQ(rt.trace().size(), 5u);
+  for (const auto& rec : rt.trace()) {
+    EXPECT_EQ(rec.name, "traced");
+    EXPECT_GE(rec.end_s, rec.start_s);
+    EXPECT_GE(rec.worker, 0);
+  }
+  EXPECT_FALSE(rt::summarize_trace(rt.trace()).empty());
+}
+
+TEST(Runtime, InvalidHandleRejected) {
+  Runtime rt(1);
+  DataHandle bogus;
+  EXPECT_THROW(
+      rt.submit("bad", {{bogus, Access::kRead}}, [] {}),
+      Error);
+  rt.wait_all();
+}
+
+TEST(Runtime, PriorityDoesNotBreakCorrectness) {
+  Runtime rt(3);
+  auto h = rt.register_data();
+  std::vector<int> order;
+  for (int i = 0; i < 20; ++i) {
+    rt.submit("p", {{h, Access::kReadWrite}},
+              [&order, i] { order.push_back(i); }, /*priority=*/i % 3);
+  }
+  rt.wait_all();
+  // Dependencies force submission order regardless of priorities.
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+}  // namespace

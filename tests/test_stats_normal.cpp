@@ -1,0 +1,140 @@
+// Tests for the univariate normal kernels: reference values, symmetry,
+// quantile/CDF roundtrips and tail stability.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "stats/normal.hpp"
+
+namespace {
+
+using parmvn::stats::norm_cdf;
+using parmvn::stats::norm_cdf_diff;
+using parmvn::stats::norm_logcdf;
+using parmvn::stats::norm_pdf;
+using parmvn::stats::norm_quantile;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(NormPdf, ReferenceValues) {
+  EXPECT_NEAR(norm_pdf(0.0), 0.3989422804014327, 1e-16);
+  EXPECT_NEAR(norm_pdf(1.0), 0.24197072451914337, 1e-16);
+  EXPECT_NEAR(norm_pdf(-2.0), 0.05399096651318806, 1e-16);
+}
+
+TEST(NormCdf, ReferenceValues) {
+  // Reference values from Abramowitz&Stegun / R pnorm.
+  EXPECT_DOUBLE_EQ(norm_cdf(0.0), 0.5);
+  EXPECT_NEAR(norm_cdf(1.0), 0.8413447460685429, 1e-15);
+  EXPECT_NEAR(norm_cdf(-1.0), 0.15865525393145705, 1e-15);
+  EXPECT_NEAR(norm_cdf(1.96), 0.9750021048517795, 1e-15);
+  EXPECT_NEAR(norm_cdf(-1.96), 0.024997895148220435, 1e-15);
+  EXPECT_NEAR(norm_cdf(3.0), 0.9986501019683699, 1e-15);
+  EXPECT_NEAR(norm_cdf(-5.0) / 2.866515718791933e-07, 1.0, 1e-9);
+  EXPECT_NEAR(norm_cdf(-10.0) / 7.619853024160489e-24, 1.0, 1e-9);
+}
+
+TEST(NormCdf, Endpoints) {
+  EXPECT_DOUBLE_EQ(norm_cdf(-kInf), 0.0);
+  EXPECT_DOUBLE_EQ(norm_cdf(kInf), 1.0);
+  EXPECT_EQ(norm_cdf(-40.0), 0.0);  // underflows cleanly
+  EXPECT_DOUBLE_EQ(norm_cdf(40.0), 1.0);
+}
+
+TEST(NormCdf, Symmetry) {
+  for (double x : {0.1, 0.5, 1.0, 2.0, 3.7, 6.5}) {
+    EXPECT_NEAR(norm_cdf(x) + norm_cdf(-x), 1.0, 1e-15) << "x=" << x;
+  }
+}
+
+class QuantileRoundtrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileRoundtrip, QuantileInvertsCdf) {
+  const double x = GetParam();
+  const double p = norm_cdf(x);
+  const double back = norm_quantile(p);
+  // Near the tails the CDF loses resolution, so compare in x with a tolerance
+  // scaled by the local derivative.
+  EXPECT_NEAR(back, x, 1e-9 * (1.0 + std::fabs(x))) << "x=" << x;
+}
+
+// Positive arguments stop at 5: beyond that 1-Phi(x) is below the spacing of
+// doubles around 1, so the roundtrip is resolution-limited by IEEE754, not
+// by the quantile implementation (the left tail covers large |x| instead).
+INSTANTIATE_TEST_SUITE_P(SweepX, QuantileRoundtrip,
+                         ::testing::Values(-8.0, -5.0, -3.0, -1.5, -0.5, -0.1,
+                                           0.0, 0.1, 0.7, 1.0, 2.5, 4.0, 5.0));
+
+TEST(NormQuantile, ReferenceValues) {
+  EXPECT_DOUBLE_EQ(norm_quantile(0.5), 0.0);
+  EXPECT_NEAR(norm_quantile(0.975), 1.959963984540054, 1e-12);
+  EXPECT_NEAR(norm_quantile(0.025), -1.959963984540054, 1e-12);
+  EXPECT_NEAR(norm_quantile(0.84134474606854293), 1.0, 1e-12);
+  EXPECT_NEAR(norm_quantile(1e-10), -6.361340902404056, 1e-9);
+}
+
+TEST(NormQuantile, Endpoints) {
+  EXPECT_EQ(norm_quantile(0.0), -kInf);
+  EXPECT_EQ(norm_quantile(1.0), kInf);
+  EXPECT_TRUE(std::isnan(norm_quantile(std::nan(""))));
+}
+
+TEST(NormQuantile, MonotoneOnGrid) {
+  double prev = -kInf;
+  for (int i = 1; i < 1000; ++i) {
+    const double p = static_cast<double>(i) / 1000.0;
+    const double q = norm_quantile(p);
+    EXPECT_GT(q, prev);
+    prev = q;
+  }
+}
+
+TEST(NormLogCdf, MatchesLogOfCdfInBulk) {
+  for (double x : {-5.0, -2.0, -1.0, 0.0, 1.0, 3.0}) {
+    EXPECT_NEAR(norm_logcdf(x), std::log(norm_cdf(x)), 1e-12) << "x=" << x;
+  }
+}
+
+TEST(NormLogCdf, FarTailFiniteAndOrdered) {
+  // Where norm_cdf underflows to 0, logcdf must stay finite and decreasing.
+  double prev = norm_logcdf(-30.0);
+  for (double x : {-40.0, -60.0, -100.0, -200.0}) {
+    const double lc = norm_logcdf(x);
+    EXPECT_TRUE(std::isfinite(lc)) << "x=" << x;
+    EXPECT_LT(lc, prev);
+    prev = lc;
+  }
+  // Asymptotic check at x=-40: log Phi(x) ~ -x^2/2 - log(-x) - log(2pi)/2.
+  const double x = -40.0;
+  const double approx = -0.5 * x * x - std::log(40.0) - 0.9189385332046727;
+  EXPECT_NEAR(norm_logcdf(x) / approx, 1.0, 1e-3);
+}
+
+TEST(NormCdfDiff, AgreesWithDirectDifference) {
+  for (double a : {-3.0, -1.0, 0.0, 0.5}) {
+    for (double w : {0.1, 1.0, 2.5}) {
+      const double b = a + w;
+      EXPECT_NEAR(norm_cdf_diff(a, b), norm_cdf(b) - norm_cdf(a), 1e-15);
+    }
+  }
+}
+
+TEST(NormCdfDiff, RightTailNoCancellation) {
+  // Phi(8.1)-Phi(8.0) computed naively loses all digits; the mirrored form
+  // must match the left-tail equivalent exactly.
+  const double direct = norm_cdf_diff(8.0, 8.1);
+  const double mirrored = norm_cdf(-8.0) - norm_cdf(-8.1);
+  EXPECT_GT(direct, 0.0);
+  EXPECT_NEAR(direct / mirrored, 1.0, 1e-12);
+}
+
+TEST(NormCdfDiff, DegenerateAndInfiniteLimits) {
+  EXPECT_DOUBLE_EQ(norm_cdf_diff(1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(norm_cdf_diff(2.0, 1.0), 0.0);  // a > b clamps to 0
+  EXPECT_DOUBLE_EQ(norm_cdf_diff(-kInf, kInf), 1.0);
+  EXPECT_NEAR(norm_cdf_diff(-kInf, 0.0), 0.5, 1e-15);
+  EXPECT_NEAR(norm_cdf_diff(0.0, kInf), 0.5, 1e-15);
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Tests for prime generation and the QMC point sets (Richtmyer lattice,
+// scrambled Halton, pseudo-MC) plus the block error-estimate combiner.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "stats/qmc.hpp"
+
+namespace {
+
+using namespace parmvn;
+using stats::BlockEstimate;
+using stats::combine_block_means;
+using stats::first_primes;
+using stats::PointSet;
+using stats::SamplerKind;
+
+TEST(Primes, FirstFew) {
+  const auto p = first_primes(10);
+  const std::vector<i64> expected{2, 3, 5, 7, 11, 13, 17, 19, 23, 29};
+  EXPECT_EQ(p, expected);
+}
+
+TEST(Primes, KnownMilestones) {
+  EXPECT_EQ(first_primes(100).back(), 541);
+  EXPECT_EQ(first_primes(1000).back(), 7919);
+  EXPECT_EQ(first_primes(10000).back(), 104729);
+}
+
+TEST(Primes, EmptyAndSingle) {
+  EXPECT_TRUE(first_primes(0).empty());
+  EXPECT_EQ(first_primes(1), std::vector<i64>{2});
+}
+
+class PointSetKinds : public ::testing::TestWithParam<SamplerKind> {};
+
+TEST_P(PointSetKinds, ValuesInUnitIntervalAndDeterministic) {
+  PointSet ps(GetParam(), 16, 128, 4, 2024);
+  EXPECT_EQ(ps.num_samples(), 512);
+  for (i64 d : {i64{0}, i64{7}, i64{15}}) {
+    for (i64 s = 0; s < ps.num_samples(); s += 37) {
+      const double v = ps.value(d, s);
+      ASSERT_GE(v, 0.0);
+      ASSERT_LT(v, 1.0);
+      EXPECT_DOUBLE_EQ(v, ps.value(d, s)) << "must be pure";
+    }
+  }
+  PointSet same(GetParam(), 16, 128, 4, 2024);
+  EXPECT_DOUBLE_EQ(ps.value(3, 100), same.value(3, 100));
+  PointSet other(GetParam(), 16, 128, 4, 2025);
+  bool differs = false;
+  for (i64 s = 0; s < 16; ++s)
+    differs |= (ps.value(3, s) != other.value(3, s));
+  EXPECT_TRUE(differs) << "different seeds must shift the points";
+}
+
+TEST_P(PointSetKinds, PerDimensionMeanNearHalf) {
+  PointSet ps(GetParam(), 8, 1000, 4, 7);
+  for (i64 d = 0; d < 8; ++d) {
+    double sum = 0.0;
+    for (i64 s = 0; s < ps.num_samples(); ++s) sum += ps.value(d, s);
+    const double mean = sum / static_cast<double>(ps.num_samples());
+    EXPECT_NEAR(mean, 0.5, 0.02) << "dim " << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, PointSetKinds,
+                         ::testing::Values(SamplerKind::kPseudoMC,
+                                           SamplerKind::kRichtmyer,
+                                           SamplerKind::kHalton));
+
+TEST(Richtmyer, LowerDiscrepancyThanMC) {
+  // Integrate f(u) = prod(u_d) over [0,1]^5 (exact value 1/32). The lattice
+  // rule should beat plain MC by a clear margin at equal sample count.
+  const i64 dim = 5;
+  const i64 n = 4096;
+  auto integrate = [&](SamplerKind kind) {
+    PointSet ps(kind, dim, n, 1, 99);
+    double acc = 0.0;
+    for (i64 s = 0; s < n; ++s) {
+      double f = 1.0;
+      for (i64 d = 0; d < dim; ++d) f *= ps.value(d, s);
+      acc += f;
+    }
+    return acc / static_cast<double>(n);
+  };
+  const double exact = 1.0 / 32.0;
+  const double err_mc = std::fabs(integrate(SamplerKind::kPseudoMC) - exact);
+  const double err_qmc = std::fabs(integrate(SamplerKind::kRichtmyer) - exact);
+  EXPECT_LT(err_qmc, err_mc) << "mc=" << err_mc << " qmc=" << err_qmc;
+  EXPECT_LT(err_qmc, 2e-3);
+}
+
+TEST(Richtmyer, ShiftBlocksAreDistinct) {
+  PointSet ps(SamplerKind::kRichtmyer, 4, 64, 4, 5);
+  // Same intra-block index in different blocks -> shifted copies, not equal.
+  bool any_diff = false;
+  for (i64 d = 0; d < 4; ++d)
+    any_diff |= (ps.value(d, 0) != ps.value(d, 64));
+  EXPECT_TRUE(any_diff);
+  EXPECT_EQ(ps.shift_of(0), 0);
+  EXPECT_EQ(ps.shift_of(63), 0);
+  EXPECT_EQ(ps.shift_of(64), 1);
+  EXPECT_EQ(ps.shift_of(255), 3);
+}
+
+TEST(PointSet, PreconditionViolations) {
+  EXPECT_THROW(PointSet(SamplerKind::kPseudoMC, 0, 10, 1, 1), parmvn::Error);
+  EXPECT_THROW(PointSet(SamplerKind::kPseudoMC, 2, 0, 1, 1), parmvn::Error);
+  EXPECT_THROW(PointSet(SamplerKind::kPseudoMC, 2, 10, 0, 1), parmvn::Error);
+  PointSet ps(SamplerKind::kPseudoMC, 2, 10, 1, 1);
+  EXPECT_THROW(ps.value(-1, 0), parmvn::Error);
+  EXPECT_THROW(ps.value(0, 10), parmvn::Error);
+}
+
+TEST(CombineBlockMeans, MeanAndSpread) {
+  const BlockEstimate e = combine_block_means({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(e.mean, 2.5);
+  // sample sd = sqrt(5/3), se = sd/2, 3-sigma = 1.5*sd
+  EXPECT_NEAR(e.error3sigma, 3.0 * std::sqrt(5.0 / 3.0 / 4.0), 1e-12);
+}
+
+TEST(CombineBlockMeans, SingleBlockHasZeroError) {
+  const BlockEstimate e = combine_block_means({0.7});
+  EXPECT_DOUBLE_EQ(e.mean, 0.7);
+  EXPECT_DOUBLE_EQ(e.error3sigma, 0.0);
+}
+
+TEST(CombineBlockMeans, EmptyThrows) {
+  EXPECT_THROW(combine_block_means({}), parmvn::Error);
+}
+
+}  // namespace

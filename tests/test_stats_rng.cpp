@@ -1,0 +1,141 @@
+// Tests for the RNG layer: determinism, splitting, statistical sanity of the
+// sequential and counter-based generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace parmvn;
+using stats::counter_normal;
+using stats::counter_u01;
+using stats::mix64;
+using stats::splitmix64;
+using stats::Xoshiro256pp;
+
+TEST(SplitMix, DeterministicAndAdvancesState) {
+  u64 s1 = 12345;
+  u64 s2 = 12345;
+  const u64 first = splitmix64(s1);
+  EXPECT_EQ(first, splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(s1, 12345u) << "state must advance";
+  EXPECT_NE(splitmix64(s1), first) << "successive draws differ";
+  u64 s3 = 12346;
+  u64 a = 12345;
+  EXPECT_NE(splitmix64(s3), splitmix64(a));
+}
+
+TEST(Mix64, BijectiveLooking) {
+  // Distinct inputs map to distinct outputs on a sample.
+  std::vector<u64> outs;
+  for (u64 i = 0; i < 1000; ++i) outs.push_back(mix64(i));
+  std::sort(outs.begin(), outs.end());
+  EXPECT_EQ(std::adjacent_find(outs.begin(), outs.end()), outs.end());
+}
+
+TEST(Xoshiro, Reproducible) {
+  Xoshiro256pp a(42);
+  Xoshiro256pp b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  Xoshiro256pp c(43);
+  Xoshiro256pp d(42);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (c.next() != d.next());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Xoshiro, U01MomentsAndRange) {
+  Xoshiro256pp g(7);
+  const int n = 200000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double u = g.next_u01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+    sumsq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.003);
+}
+
+TEST(Xoshiro, NormalMoments) {
+  Xoshiro256pp g(11);
+  const int n = 200000;
+  double sum = 0.0, sumsq = 0.0, sumcube = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double z = g.next_normal();
+    sum += z;
+    sumsq += z * z;
+    sumcube += z * z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+  EXPECT_NEAR(sumcube / n, 0.0, 0.1);
+}
+
+TEST(Xoshiro, SplitStreamsDecorrelated) {
+  Xoshiro256pp parent(5);
+  Xoshiro256pp child = parent.split();
+  const int n = 50000;
+  double corr = 0.0;
+  for (int i = 0; i < n; ++i) {
+    corr += (parent.next_u01() - 0.5) * (child.next_u01() - 0.5);
+  }
+  corr /= n * (1.0 / 12.0);
+  EXPECT_LT(std::fabs(corr), 0.03);
+}
+
+TEST(CounterU01, PureFunctionOfInputs) {
+  EXPECT_EQ(counter_u01(1, 2, 3), counter_u01(1, 2, 3));
+  EXPECT_NE(counter_u01(1, 2, 3), counter_u01(1, 2, 4));
+  EXPECT_NE(counter_u01(1, 2, 3), counter_u01(1, 3, 3));
+  EXPECT_NE(counter_u01(1, 2, 3), counter_u01(2, 2, 3));
+}
+
+TEST(CounterU01, MomentsOverGrid) {
+  double sum = 0.0, sumsq = 0.0;
+  const i64 rows = 500, cols = 400;
+  for (i64 i = 0; i < rows; ++i)
+    for (i64 j = 0; j < cols; ++j) {
+      const double u = counter_u01(99, i, j);
+      sum += u;
+      sumsq += u * u;
+    }
+  const double n = static_cast<double>(rows * cols);
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+  EXPECT_NEAR(sumsq / n - 0.25, 1.0 / 12.0, 0.003);
+}
+
+TEST(CounterU01, NeighborDecorrelation) {
+  // Adjacent cells in both indices should be uncorrelated.
+  double cr = 0.0, cc = 0.0;
+  const i64 n = 100000;
+  for (i64 k = 0; k < n; ++k) {
+    const double u = counter_u01(3, k, 17);
+    cr += (u - 0.5) * (counter_u01(3, k + 1, 17) - 0.5);
+    cc += (u - 0.5) * (counter_u01(3, k, 18) - 0.5);
+  }
+  EXPECT_LT(std::fabs(cr / (n / 12.0)), 0.03);
+  EXPECT_LT(std::fabs(cc / (n / 12.0)), 0.03);
+}
+
+TEST(CounterNormal, MomentsOverGrid) {
+  double sum = 0.0, sumsq = 0.0;
+  const i64 n = 200000;
+  for (i64 i = 0; i < n; ++i) {
+    const double z = counter_normal(123, i, 0);
+    sum += z;
+    sumsq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+}  // namespace

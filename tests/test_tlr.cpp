@@ -1,0 +1,335 @@
+// Tests for the TLR substrate: tile compression (RRQR & ACA), recompression
+// algebra, the TLR matrix container, and TLR Cholesky vs the dense oracle.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "geo/covgen.hpp"
+#include "geo/geometry.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/potrf.hpp"
+#include "stats/covariance.hpp"
+#include "stats/rng.hpp"
+#include "tlr/aca.hpp"
+#include "tlr/lr_tile.hpp"
+#include "tlr/tlr_matrix.hpp"
+#include "tlr/tlr_potrf.hpp"
+
+namespace {
+
+using namespace parmvn;
+using geo::KernelCovGenerator;
+using la::Matrix;
+using la::Trans;
+using tlr::CompressionMethod;
+using tlr::LowRankTile;
+using tlr::TlrMatrix;
+
+// Morton-ordered covariance generator over a grid — the canonical TLR input.
+std::unique_ptr<KernelCovGenerator> grid_cov(i64 nx, i64 ny, double range,
+                                             double nu = 0.5,
+                                             double nugget = 1e-6) {
+  geo::LocationSet locs = geo::regular_grid(nx, ny);
+  const std::vector<i64> perm = geo::morton_order(locs);
+  locs = geo::apply_permutation(locs, perm);
+  auto kernel = std::make_shared<stats::MaternKernel>(1.0, range, nu);
+  return std::make_unique<KernelCovGenerator>(std::move(locs), kernel, nugget);
+}
+
+TEST(LowRankTile, CompressErrorScalesWithAccuracy) {
+  auto gen = grid_cov(16, 16, 0.2);
+  Matrix block(64, 64);
+  gen->fill(128, 0, block.view());  // off-diagonal block
+  const double scale = la::frobenius_norm(block.view());
+  ASSERT_GT(scale, 0.0);
+  double prev_err = std::numeric_limits<double>::infinity();
+  for (double tol : {1e-1, 1e-3, 1e-6, 1e-9}) {
+    const LowRankTile t = tlr::compress_block(block.view(), tol, -1);
+    const double err = tlr::lr_error_fro(t, block.view());
+    // Dropped components all have sigma < tol * sigma_1 <= tol * ||A||_F;
+    // at most min(m,n)=64 of them.
+    EXPECT_LE(err, tol * scale * 8.0 * 1.01) << tol;
+    EXPECT_LE(err, prev_err * 1.001) << tol;
+    prev_err = err;
+    EXPECT_LE(t.rank(), 64);
+  }
+}
+
+TEST(LowRankTile, NearDiagonalRankDecreasesWithCorrelationRange) {
+  // Near-diagonal tiles: stronger correlation (larger range) -> smoother
+  // kernel -> lower rank — the mechanism behind the paper's Fig. 5, where
+  // the weak-correlation dataset shows the highest tile ranks. The paper's
+  // ranges {0.033, 0.1, 0.234} live on a 140x140 grid; on this 16x16 test
+  // grid the spacing-matched equivalents are scaled by 140/16.
+  i64 weak_rank = 0;
+  i64 prev_rank = 1000;
+  for (double range : {0.29, 0.875, 2.05}) {
+    auto gen = grid_cov(16, 16, range);
+    Matrix block(64, 64);
+    gen->fill(64, 0, block.view());  // adjacent tile pair
+    const LowRankTile t = tlr::compress_block(block.view(), 1e-3, -1);
+    EXPECT_LE(t.rank(), prev_rank + 1) << "range=" << range;
+    prev_rank = t.rank();
+    if (weak_rank == 0) weak_rank = t.rank();
+  }
+  EXPECT_LT(prev_rank, weak_rank)
+      << "strong correlation must compress strictly better than weak";
+}
+
+TEST(LowRankTile, RankDecaysWithTileSeparation) {
+  // The radial pattern of Fig. 5: tiles farther from the diagonal have
+  // lower ranks, for every correlation level.
+  for (double range : {0.29, 0.875, 2.05}) {
+    auto gen = grid_cov(16, 16, range);
+    Matrix near(64, 64), far(64, 64);
+    gen->fill(64, 0, near.view());
+    gen->fill(192, 0, far.view());
+    const LowRankTile tn = tlr::compress_block(near.view(), 1e-3, -1);
+    const LowRankTile tf = tlr::compress_block(far.view(), 1e-3, -1);
+    EXPECT_LE(tf.rank(), tn.rank()) << "range=" << range;
+  }
+}
+
+TEST(LowRankTile, RecompressShrinksInflatedRank) {
+  auto gen = grid_cov(16, 16, 0.2);
+  Matrix block(64, 64);
+  gen->fill(128, 64, block.view());
+  LowRankTile t = tlr::compress_block(block.view(), 1e-12, -1);
+  // Artificially inflate: duplicate columns of U/V (rank doubles, content
+  // unchanged up to a factor of 2... use zero padding instead).
+  LowRankTile fat;
+  fat.u = Matrix(64, t.rank() + 7);
+  fat.v = Matrix(64, t.rank() + 7);
+  la::copy_into(t.u.view(), fat.u.sub(0, 0, 64, t.rank()));
+  la::copy_into(t.v.view(), fat.v.sub(0, 0, 64, t.rank()));
+  const LowRankTile slim = tlr::recompress(fat, 1e-8, -1);
+  EXPECT_LE(slim.rank(), t.rank());
+  EXPECT_LE(tlr::lr_error_fro(slim, block.view()), 1e-7);
+}
+
+TEST(LowRankTile, AddLowRankMatchesDenseArithmetic) {
+  stats::Xoshiro256pp g(3);
+  auto rand_mat = [&](i64 m, i64 n) {
+    Matrix a(m, n);
+    for (i64 j = 0; j < n; ++j)
+      for (i64 i = 0; i < m; ++i) a(i, j) = g.next_normal();
+    return a;
+  };
+  const Matrix u1 = rand_mat(40, 3), v1 = rand_mat(30, 3);
+  const Matrix u2 = rand_mat(40, 2), v2 = rand_mat(30, 2);
+  LowRankTile t{la::to_matrix(u1.view()), la::to_matrix(v1.view())};
+  tlr::add_lowrank_inplace(t, -2.5, u2.view(), v2.view(), 1e-12, -1);
+  // Dense reference.
+  Matrix ref(40, 30);
+  la::gemm(Trans::kNo, Trans::kYes, 1.0, u1.view(), v1.view(), 0.0, ref.view());
+  la::gemm(Trans::kNo, Trans::kYes, -2.5, u2.view(), v2.view(), 1.0, ref.view());
+  EXPECT_LE(tlr::lr_error_fro(t, ref.view()), 1e-10);
+  EXPECT_LE(t.rank(), 5);
+}
+
+TEST(LowRankTile, LrGemmAccumMatchesDense) {
+  stats::Xoshiro256pp g(5);
+  auto rand_mat = [&](i64 m, i64 n) {
+    Matrix a(m, n);
+    for (i64 j = 0; j < n; ++j)
+      for (i64 i = 0; i < m; ++i) a(i, j) = g.next_normal();
+    return a;
+  };
+  LowRankTile t{rand_mat(32, 4), rand_mat(24, 4)};
+  const Matrix y = rand_mat(24, 10);
+  Matrix c1 = rand_mat(32, 10);
+  Matrix c2 = la::to_matrix(c1.view());
+  tlr::lr_gemm_accum(-1.0, t, y.view(), c1.view());
+  const Matrix dense = t.to_dense();
+  la::gemm(Trans::kNo, Trans::kNo, -1.0, dense.view(), y.view(), 1.0,
+           c2.view());
+  EXPECT_LT(la::frobenius_diff(c1.view(), c2.view()), 1e-11);
+}
+
+TEST(Aca, MatchesRrqrAccuracyOnKernelBlocks) {
+  auto gen = grid_cov(20, 20, 0.1);
+  const i64 nb = 100;
+  Matrix dense(nb, nb);
+  gen->fill(300, 100, dense.view());
+  const double scale = la::frobenius_norm(dense.view());
+  for (double tol : {1e-2, 1e-4, 1e-6}) {
+    const LowRankTile t = tlr::aca_block(*gen, 300, 100, nb, nb, tol, -1);
+    // ACA is heuristic: allow a small slack factor over the requested tol.
+    EXPECT_LE(tlr::lr_error_fro(t, dense.view()), 10.0 * tol * scale) << tol;
+  }
+}
+
+TEST(Aca, ExactOnRankOneBlock) {
+  // Constant block is exactly rank 1.
+  class OnesGen final : public la::MatrixGenerator {
+   public:
+    i64 rows() const override { return 50; }
+    i64 cols() const override { return 50; }
+    double entry(i64, i64) const override { return 3.0; }
+  } gen;
+  const LowRankTile t = tlr::aca_block(gen, 0, 10, 30, 20, 1e-12, -1);
+  EXPECT_EQ(t.rank(), 1);
+  Matrix ref(30, 20);
+  for (i64 j = 0; j < 20; ++j)
+    for (i64 i = 0; i < 30; ++i) ref(i, j) = 3.0;
+  EXPECT_LE(tlr::lr_error_fro(t, ref.view()), 1e-10);
+}
+
+class TlrCompressSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TlrCompressSweep, GlobalReconstructionErrorBounded) {
+  const double tol = GetParam();
+  rt::Runtime rt(4);
+  auto gen = grid_cov(16, 16, 0.1);
+  const TlrMatrix m = TlrMatrix::compress(rt, *gen, 64, tol, -1);
+  const Matrix dense = geo::dense_from_generator(*gen);
+  const Matrix rec = m.to_dense();
+  // Each off-diagonal tile errs by <= tol * sigma_1(tile) * sqrt(nb) with
+  // sigma_1(tile) <= ||Sigma||_F; summing squares over mirrored triangles:
+  const double bound = tol * std::sqrt(2.0 * 64.0) *
+                       la::frobenius_norm(dense.view());
+  EXPECT_LE(la::frobenius_diff(rec.view(), dense.view()), bound * 1.01)
+      << "tol=" << tol;
+}
+
+INSTANTIATE_TEST_SUITE_P(Tols, TlrCompressSweep,
+                         ::testing::Values(1e-1, 1e-3, 1e-5, 1e-7));
+
+TEST(TlrMatrix, RankGridShapeAndDiagMarkers) {
+  rt::Runtime rt(2);
+  auto gen = grid_cov(14, 14, 0.1);  // n=196, tile 49 -> 4x4 tiles
+  const TlrMatrix m = TlrMatrix::compress(rt, *gen, 49, 1e-3, -1);
+  const auto grid = m.rank_grid();
+  ASSERT_EQ(grid.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(grid[i].size(), i + 1);
+    EXPECT_EQ(grid[i][i], 49);  // dense diagonal marker
+    for (std::size_t j = 0; j < i; ++j) {
+      EXPECT_GE(grid[i][j], 1);
+      EXPECT_LT(grid[i][j], 49);
+    }
+  }
+  EXPECT_GT(m.mean_offdiag_rank(), 0.0);
+  EXPECT_LE(m.max_tile_rank(), 49);
+}
+
+TEST(TlrMatrix, CompressionSavesMemory) {
+  rt::Runtime rt(2);
+  // Spacing-matched "strong" correlation on a 24x24 grid.
+  auto gen = grid_cov(24, 24, 1.4);
+  const TlrMatrix m = TlrMatrix::compress(rt, *gen, 96, 1e-3, -1);
+  EXPECT_LT(m.memory_bytes(), m.dense_bytes() / 2)
+      << "strong correlation at 1e-3 must compress well";
+}
+
+TEST(TlrMatrix, AcaMethodProducesComparableRanks) {
+  rt::Runtime rt(2);
+  auto gen = grid_cov(12, 12, 0.1);
+  const TlrMatrix rrqr =
+      TlrMatrix::compress(rt, *gen, 48, 1e-4, -1, CompressionMethod::kRrqr);
+  const TlrMatrix aca =
+      TlrMatrix::compress(rt, *gen, 48, 1e-4, -1, CompressionMethod::kAca);
+  EXPECT_NEAR(aca.mean_offdiag_rank(), rrqr.mean_offdiag_rank(),
+              0.5 * rrqr.mean_offdiag_rank() + 2.0);
+}
+
+TEST(TlrMatrix, MaxRankCapIsHonored) {
+  rt::Runtime rt(2);
+  auto gen = grid_cov(16, 16, 0.29);  // weak correlation -> high ranks
+  const TlrMatrix m = TlrMatrix::compress(rt, *gen, 64, 1e-9, 5);
+  EXPECT_LE(m.max_tile_rank(), 5);
+}
+
+class TlrPotrfSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TlrPotrfSweep, FactorReconstructsWithinTolerance) {
+  const double tol = GetParam();
+  rt::Runtime rt(4);
+  auto gen = grid_cov(16, 16, 0.1, 0.5, 1e-4);
+  TlrMatrix m = TlrMatrix::compress(rt, *gen, 64, tol, -1);
+  tlr::potrf_tlr(rt, m);
+
+  // Rebuild L from the factorised TLR form and compare L L^T to Sigma.
+  Matrix l = m.to_dense();
+  la::zero_strict_upper(l.view());
+  Matrix rec(l.rows(), l.cols());
+  la::gemm(Trans::kNo, Trans::kYes, 1.0, l.view(), l.view(), 0.0, rec.view());
+  const Matrix sigma = geo::dense_from_generator(*gen);
+  const double err = la::frobenius_diff(rec.view(), sigma.view());
+  const double scale = la::frobenius_norm(sigma.view());
+  // Relative truncation error accumulates over ~nt^2 tile updates.
+  const double nt = static_cast<double>(m.num_tiles());
+  EXPECT_LE(err, std::max(1e-11, 20.0 * tol * nt) * scale) << "tol=" << tol;
+}
+
+INSTANTIATE_TEST_SUITE_P(Tols, TlrPotrfSweep,
+                         ::testing::Values(1e-3, 1e-5, 1e-7, 1e-9));
+
+TEST(TlrPotrf, TlrFlopsBelowDenseForSmoothKernels) {
+  rt::Runtime rt(2);
+  auto gen = grid_cov(24, 24, 0.234);
+  TlrMatrix m = TlrMatrix::compress(rt, *gen, 96, 1e-3, -1);
+  tlr::potrf_tlr(rt, m);
+  const double dense_flops = 576.0 * 576.0 * 576.0 / 3.0;
+  EXPECT_LT(tlr::potrf_tlr_flops(m), dense_flops);
+}
+
+TEST(TlrPotrf, NonSpdThrows) {
+  rt::Runtime rt(2);
+  // Indefinite generator: a correlation-like matrix with an impossible
+  // off-diagonal block (correlation > 1).
+  class BadGen final : public la::MatrixGenerator {
+   public:
+    i64 rows() const override { return 128; }
+    i64 cols() const override { return 128; }
+    double entry(i64 i, i64 j) const override {
+      if (i == j) return 1.0;
+      return 1.7;  // not a valid correlation -> Sigma indefinite
+    }
+  } gen;
+  TlrMatrix m = TlrMatrix::compress(rt, gen, 64, 1e-6, -1);
+  EXPECT_THROW(tlr::potrf_tlr(rt, m), Error);
+}
+
+}  // namespace
+
+namespace {
+
+TEST(TlrPotrf, SafeguardBoostsIllConditionedMatrix) {
+  // Spacing-matched medium correlation at loose accuracy: truncation pushes
+  // the matrix below SPD, the safeguard must rescue it with a small boost.
+  rt::Runtime rt(2);
+  geo::LocationSet locs = geo::regular_grid(40, 40);
+  locs = geo::apply_permutation(locs, geo::morton_order(locs));
+  auto kernel = std::make_shared<stats::MaternKernel>(1.0, 0.35, 0.5);
+  const geo::KernelCovGenerator gen(locs, kernel, 1e-8);
+  TlrMatrix m = TlrMatrix::compress(rt, gen, 200, 1e-2, -1);
+  const tlr::PotrfTlrInfo info = tlr::potrf_tlr(rt, m);
+  // Whether or not a retry fired, the result must be a usable factor and
+  // any boost must stay at the order of the compression error.
+  EXPECT_LE(info.diag_boost, 1.0);
+  Matrix l = m.to_dense();
+  la::zero_strict_upper(l.view());
+  Matrix rec(l.rows(), l.cols());
+  la::gemm(Trans::kNo, Trans::kYes, 1.0, l.view(), l.view(), 0.0, rec.view());
+  const Matrix sigma = geo::dense_from_generator(gen);
+  EXPECT_LT(la::frobenius_diff(rec.view(), sigma.view()),
+            0.2 * la::frobenius_norm(sigma.view()));
+}
+
+TEST(TlrPotrf, SafeguardGivesUpOnGenuinelyIndefinite) {
+  rt::Runtime rt(1);
+  class BadGen2 final : public la::MatrixGenerator {
+   public:
+    i64 rows() const override { return 96; }
+    i64 cols() const override { return 96; }
+    double entry(i64 i, i64 j) const override {
+      return (i == j) ? -3.0 : 1.5;  // hugely negative diagonal
+    }
+  } gen;
+  TlrMatrix m = TlrMatrix::compress(rt, gen, 48, 1e-6, -1);
+  EXPECT_THROW((void)tlr::potrf_tlr(rt, m, /*max_retries=*/1), Error);
+}
+
+}  // namespace
