@@ -1,0 +1,68 @@
+#include "dist/cluster_sim.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/contracts.hpp"
+
+namespace parmvn::dist {
+
+ClusterSim::ClusterSim(i64 nodes, MachineModel machine)
+    : nodes_(nodes), machine_(machine) {
+  PARMVN_EXPECTS(nodes_ >= 1);
+  PARMVN_EXPECTS(machine_.cores_per_node >= 1);
+}
+
+SimResult ClusterSim::run(const std::vector<SimTask>& tasks,
+                          i64 prefix_count) const {
+  PARMVN_EXPECTS(prefix_count <= static_cast<i64>(tasks.size()));
+  // Min-heap of core-free times per node.
+  using CoreHeap =
+      std::priority_queue<double, std::vector<double>, std::greater<>>;
+  std::vector<CoreHeap> cores(static_cast<std::size_t>(nodes_));
+  for (auto& heap : cores)
+    for (i64 c = 0; c < machine_.cores_per_node; ++c) heap.push(0.0);
+
+  std::vector<double> finish(tasks.size(), 0.0);
+  SimResult r;
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const SimTask& task = tasks[t];
+    PARMVN_EXPECTS(task.owner >= 0 && task.owner < nodes_);
+    PARMVN_EXPECTS(task.cost_s >= 0.0);
+
+    double ready = 0.0;
+    for (const i64 dep : task.deps) {
+      PARMVN_EXPECTS(dep >= 0 && dep < static_cast<i64>(t));
+      double arrive = finish[static_cast<std::size_t>(dep)];
+      if (tasks[static_cast<std::size_t>(dep)].owner != task.owner) {
+        const double wire =
+            transfer_seconds(machine_, tasks[static_cast<std::size_t>(dep)]
+                                           .output_bytes);
+        arrive += wire;
+        r.comm_s += wire;
+      }
+      ready = std::max(ready, arrive);
+    }
+
+    CoreHeap& heap = cores[static_cast<std::size_t>(task.owner)];
+    const double core_free = heap.top();
+    heap.pop();
+    const double start = std::max(ready, core_free);
+    finish[t] = start + task.cost_s;
+    heap.push(finish[t]);
+
+    r.makespan_s = std::max(r.makespan_s, finish[t]);
+    if (prefix_count < 0 || static_cast<i64>(t) < prefix_count)
+      r.prefix_makespan_s = std::max(r.prefix_makespan_s, finish[t]);
+    r.total_busy_core_s += task.cost_s;
+  }
+
+  r.parallel_efficiency =
+      r.makespan_s > 0.0
+          ? r.total_busy_core_s /
+                (r.makespan_s * static_cast<double>(total_cores()))
+          : 1.0;
+  return r;
+}
+
+}  // namespace parmvn::dist

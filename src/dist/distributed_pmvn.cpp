@@ -1,0 +1,43 @@
+#include "dist/distributed_pmvn.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace parmvn::dist {
+
+DistPrediction predict_pmvn(const DistConfig& cfg) {
+  PARMVN_EXPECTS(cfg.n >= 1);
+  PARMVN_EXPECTS(cfg.tile >= 1);
+  PARMVN_EXPECTS(cfg.nodes >= 1);
+  PARMVN_EXPECTS(cfg.qmc_samples >= 1);
+
+  i64 nt = (cfg.n + cfg.tile - 1) / cfg.tile;
+  i64 tile = cfg.tile;
+  if (cfg.max_sim_tiles > 0 && nt > cfg.max_sim_tiles) {
+    nt = cfg.max_sim_tiles;
+    tile = (cfg.n + nt - 1) / nt;
+  }
+
+  const BlockCyclic grid = BlockCyclic::square(cfg.nodes);
+  // One sample panel per node (capped): panels are the sweep's unit of
+  // node-level parallelism; more nodes shrink each panel.
+  const i64 nc = std::clamp<i64>(cfg.nodes, 1, 64);
+  const i64 samples_per_panel = (cfg.qmc_samples + nc - 1) / nc;
+
+  const PmvnDag dag = pmvn_dag(nt, tile, nc, cfg.tlr, cfg.ranks, grid,
+                               cfg.machine, samples_per_panel,
+                               cfg.tlr && cfg.tlr_sweep);
+
+  const ClusterSim sim(cfg.nodes, cfg.machine);
+  const SimResult full = sim.run(dag.tasks, dag.chol_task_count);
+
+  DistPrediction p;
+  p.total_s = full.makespan_s;
+  p.chol_s = full.prefix_makespan_s;
+  p.efficiency = full.parallel_efficiency;
+  p.comm_s = full.comm_s;
+  return p;
+}
+
+}  // namespace parmvn::dist

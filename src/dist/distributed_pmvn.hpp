@@ -1,0 +1,39 @@
+// End-to-end prediction of one distributed PMVN integration (Fig. 7 /
+// Table III): build the Cholesky + sweep DAG for the requested
+// configuration, replay it through the cluster simulator, report makespans.
+//
+// Problems larger than `max_sim_tiles` tiles are simulated at a capped tile
+// count with a proportionally enlarged tile size (total matrix dimension
+// preserved), which keeps predictions smooth and monotone in n while
+// bounding DAG size.
+#pragma once
+
+#include "common/types.hpp"
+#include "dist/cluster_sim.hpp"
+#include "dist/cost_model.hpp"
+#include "dist/schedules.hpp"
+
+namespace parmvn::dist {
+
+struct DistConfig {
+  i64 n = 0;                  // problem dimension
+  i64 tile = 980;             // tile size (the paper's Shaheen II choice)
+  i64 qmc_samples = 10000;    // total QMC samples in the sweep
+  i64 nodes = 1;
+  bool tlr = false;           // TLR Cholesky factor
+  bool tlr_sweep = false;     // low-rank sweep updates (Table II variant)
+  RankProfile ranks;
+  i64 max_sim_tiles = 140;    // cap on simulated tile count (<= 0: uncapped)
+  MachineModel machine = MachineModel::cray_xc40();
+};
+
+struct DistPrediction {
+  double total_s = 0.0;   // Cholesky + sweep makespan
+  double chol_s = 0.0;    // Cholesky-only makespan
+  double efficiency = 0.0;
+  double comm_s = 0.0;
+};
+
+[[nodiscard]] DistPrediction predict_pmvn(const DistConfig& cfg);
+
+}  // namespace parmvn::dist

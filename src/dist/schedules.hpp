@@ -1,0 +1,76 @@
+// DAG builders for the simulated distributed runs: 2D block-cyclic tile
+// ownership (the ScaLAPACK/Chameleon distribution the paper uses), a fitted
+// per-tile-distance rank profile for TLR cost prediction, and the task
+// graphs for tiled Cholesky (dense + TLR) and the full PMVN sweep.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "dist/cluster_sim.hpp"
+#include "dist/cost_model.hpp"
+#include "tlr/tlr_matrix.hpp"
+
+namespace parmvn::dist {
+
+/// 2D block-cyclic process grid: tile (i, j) lives on node
+/// (i mod p) * q + (j mod q).
+struct BlockCyclic {
+  i64 p = 1;
+  i64 q = 1;
+
+  /// Most-square p x q factorisation with p * q == nodes and p <= q.
+  [[nodiscard]] static BlockCyclic square(i64 nodes);
+
+  [[nodiscard]] i64 owner(i64 i, i64 j) const noexcept {
+    return (i % p) * q + (j % q);
+  }
+};
+
+/// Off-diagonal tile rank as a function of tile distance |i - j|:
+/// rank(d) = near_rank * decay^(d-1), clamped to [floor_rank, cap].
+/// Matches the geometric decay of Matern/exponential covariance ranks under
+/// Morton ordering (paper Fig. 5).
+struct RankProfile {
+  double near_rank = 16.0;
+  double decay = 0.7;   // in (0, 1]
+  i64 floor_rank = 2;
+  i64 cap = 0;          // <= 0: uncapped
+
+  [[nodiscard]] i64 rank(i64 distance) const noexcept;
+
+  /// Fit near_rank/decay from a genuinely compressed matrix by regressing
+  /// log(mean rank) on tile distance.
+  [[nodiscard]] static RankProfile fit(const tlr::TlrMatrix& m);
+};
+
+/// Right-looking tiled Cholesky, dense tiles: nt potrf + nt(nt-1)/2 trsm +
+/// nt(nt-1)/2 syrk + C(nt,3) gemm, dependencies topological (deps < index).
+[[nodiscard]] std::vector<SimTask> cholesky_dag_dense(i64 nt, i64 tile,
+                                                      BlockCyclic grid,
+                                                      const MachineModel& m);
+
+/// Same topology with HiCMA TLR kernel costs from the rank profile.
+[[nodiscard]] std::vector<SimTask> cholesky_dag_tlr(i64 nt, i64 tile,
+                                                    const RankProfile& ranks,
+                                                    BlockCyclic grid,
+                                                    const MachineModel& m);
+
+struct PmvnDag {
+  std::vector<SimTask> tasks;  // Cholesky prefix, then the sweep
+  i64 chol_task_count = 0;
+};
+
+/// Cholesky followed by the PMVN sweep over `nc` independent sample panels:
+/// per panel, per tile-row k, one QMC kernel on the diagonal tile and one
+/// propagation update per sub-diagonal tile (nc * (nt + nt(nt-1)/2) sweep
+/// tasks). `samples_per_panel` scales the sweep task costs; `tlr_sweep`
+/// prices the updates in low-rank form (Table II's shared-memory variant —
+/// the paper's distributed sweep is dense).
+[[nodiscard]] PmvnDag pmvn_dag(i64 nt, i64 tile, i64 nc, bool tlr,
+                               const RankProfile& ranks, BlockCyclic grid,
+                               const MachineModel& m,
+                               i64 samples_per_panel = 256,
+                               bool tlr_sweep = false);
+
+}  // namespace parmvn::dist

@@ -102,6 +102,10 @@ RrqrResult rrqr_truncated(ConstMatrixView a, double tol_fro, i64 max_rank,
   std::vector<double> tau;
   tau.reserve(static_cast<std::size_t>(limit));
   const double tol_sq = tol_fro * tol_fro;
+  // Column mass at the last exact (re)computation — LAPACK dgeqp3's vn2.
+  // Downdate drift accumulates relative to this value, not the running
+  // per-step mass, so the recompute guard must be measured against it.
+  std::vector<double> mass_at_recompute = colsq;
   i64 rank = 0;
 
   double tol_pivot_sq = tol_pivot * tol_pivot;
@@ -127,6 +131,8 @@ RrqrResult rrqr_truncated(ConstMatrixView a, double tol_fro, i64 max_rank,
       for (i64 i = 0; i < m; ++i) std::swap(w(i, rank), w(i, pivot));
       std::swap(colsq[static_cast<std::size_t>(rank)],
                 colsq[static_cast<std::size_t>(pivot)]);
+      std::swap(mass_at_recompute[static_cast<std::size_t>(rank)],
+                mass_at_recompute[static_cast<std::size_t>(pivot)]);
       std::swap(perm[static_cast<std::size_t>(rank)],
                 perm[static_cast<std::size_t>(pivot)]);
     }
@@ -136,16 +142,23 @@ RrqrResult rrqr_truncated(ConstMatrixView a, double tol_fro, i64 max_rank,
     apply_reflector(w, rank, t);
 
     // Downdate the trailing column masses and the residual with the newly
-    // exposed row of R. Recompute from scratch when cancellation bites.
+    // exposed row of R. Recompute from scratch when cancellation bites; the
+    // guard is sqrt(eps) relative to the mass at the last exact computation
+    // (LAPACK dgeqp3's tol3z against the vn1/vn2 pair), because downdating
+    // drift accumulates as ~eps * that mass across steps — guarding against
+    // the running per-step mass lets the drift masquerade as residual mass
+    // and inflates the returned rank.
+    constexpr double kDowndateGuard = 1.5e-8;  // ~sqrt(DBL_EPSILON)
     residual_sq = 0.0;
     for (i64 j = rank + 1; j < n; ++j) {
       const double rkj = w(rank, j);
       double cj = colsq[static_cast<std::size_t>(j)] - rkj * rkj;
-      if (cj < 1e-12 * colsq[static_cast<std::size_t>(j)]) {
+      if (cj < kDowndateGuard * mass_at_recompute[static_cast<std::size_t>(j)]) {
         // Recompute the remaining part of the column exactly.
         cj = 0.0;
         const double* col = w.col(j);
         for (i64 i = rank + 1; i < m; ++i) cj += col[i] * col[i];
+        mass_at_recompute[static_cast<std::size_t>(j)] = cj;
       }
       colsq[static_cast<std::size_t>(j)] = cj;
       residual_sq += cj;

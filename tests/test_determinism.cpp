@@ -1,0 +1,123 @@
+// Thread-count determinism matrix: the paper's task runtime promises
+// sequential consistency — tasks behave as if executed in submission order
+// with respect to every data handle — so for a fixed seed the PMVN estimate
+// must be *bitwise identical* no matter how many workers execute the task
+// graph. Runs the dense and TLR pipelines (factorization + probability
+// sweep) under 1, 2 and 8 workers and compares against a serial reference.
+//
+// Any later change that makes task arithmetic schedule-dependent (atomics
+// with relaxed reduction order, worker-local accumulators merged in
+// completion order, …) fails here with EXPECT_DOUBLE_EQ, not a tolerance.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/pmvn.hpp"
+#include "geo/covgen.hpp"
+#include "geo/geometry.hpp"
+#include "linalg/matrix.hpp"
+#include "runtime/runtime.hpp"
+#include "stats/covariance.hpp"
+#include "tile/tile_matrix.hpp"
+#include "tile/tiled_potrf.hpp"
+#include "tlr/tlr_matrix.hpp"
+#include "tlr/tlr_potrf.hpp"
+
+namespace {
+
+using namespace parmvn;
+using core::PmvnOptions;
+using core::PmvnResult;
+using la::Matrix;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr int kWorkerMatrix[] = {1, 2, 8};
+
+// Spatial problem so the TLR path compresses honestly.
+struct Problem {
+  geo::LocationSet locs;
+  std::shared_ptr<stats::ExponentialKernel> kernel;
+  std::vector<double> a, b;
+
+  explicit Problem(i64 side)
+      : locs(geo::apply_permutation(geo::regular_grid(side, side),
+                                    geo::morton_order(geo::regular_grid(side, side)))),
+        kernel(std::make_shared<stats::ExponentialKernel>(1.0, 0.2)),
+        a(static_cast<std::size_t>(side * side), -0.6),
+        b(static_cast<std::size_t>(side * side), kInf) {}
+};
+
+PmvnOptions fixed_seed_opts(stats::SamplerKind sampler) {
+  PmvnOptions opts;
+  opts.samples_per_shift = 200;
+  opts.shifts = 4;
+  opts.seed = 20240517;
+  opts.sampler = sampler;
+  return opts;
+}
+
+double run_dense(int workers, const Problem& pb, const PmvnOptions& opts) {
+  const geo::KernelCovGenerator gen(pb.locs, pb.kernel, 1e-6);
+  const Matrix sigma = geo::dense_from_generator(gen);
+  rt::Runtime rt(workers);
+  tile::TileMatrix l(rt, sigma.rows(), sigma.cols(), 25,
+                     tile::Layout::kLowerSymmetric);
+  l.from_dense(sigma.view());
+  tile::potrf_tiled(rt, l);
+  return core::pmvn_dense(rt, l, pb.a, pb.b, opts).prob;
+}
+
+double run_tlr(int workers, const Problem& pb, const PmvnOptions& opts) {
+  const geo::KernelCovGenerator gen(pb.locs, pb.kernel, 1e-6);
+  rt::Runtime rt(workers);
+  tlr::TlrMatrix l = tlr::TlrMatrix::compress(rt, gen, 25, 1e-7, -1);
+  tlr::potrf_tlr(rt, l);
+  return core::pmvn_tlr(rt, l, pb.a, pb.b, opts).prob;
+}
+
+TEST(Determinism, DensePipelineBitwiseIdenticalAcrossWorkers) {
+  const Problem pb(10);
+  for (auto sampler :
+       {stats::SamplerKind::kPseudoMC, stats::SamplerKind::kRichtmyer}) {
+    const PmvnOptions opts = fixed_seed_opts(sampler);
+    const double reference = run_dense(/*workers=*/0, pb, opts);
+    for (int workers : kWorkerMatrix) {
+      EXPECT_DOUBLE_EQ(run_dense(workers, pb, opts), reference)
+          << "dense pipeline drifted, workers=" << workers
+          << " sampler=" << static_cast<int>(sampler);
+    }
+  }
+}
+
+TEST(Determinism, TlrPipelineBitwiseIdenticalAcrossWorkers) {
+  const Problem pb(10);
+  const PmvnOptions opts = fixed_seed_opts(stats::SamplerKind::kRichtmyer);
+  const double reference = run_tlr(/*workers=*/0, pb, opts);
+  for (int workers : kWorkerMatrix) {
+    EXPECT_DOUBLE_EQ(run_tlr(workers, pb, opts), reference)
+        << "TLR pipeline drifted, workers=" << workers;
+  }
+}
+
+TEST(Determinism, RepeatedRunsSameRuntimeAreIdentical) {
+  // Same runtime object, back-to-back submissions: the sweep must not keep
+  // hidden state (RNG stream position, panel scratch) between calls.
+  const Problem pb(8);
+  const geo::KernelCovGenerator gen(pb.locs, pb.kernel, 1e-6);
+  const Matrix sigma = geo::dense_from_generator(gen);
+  rt::Runtime rt(4);
+  tile::TileMatrix l(rt, sigma.rows(), sigma.cols(), 16,
+                     tile::Layout::kLowerSymmetric);
+  l.from_dense(sigma.view());
+  tile::potrf_tiled(rt, l);
+  const PmvnOptions opts = fixed_seed_opts(stats::SamplerKind::kPseudoMC);
+  const double first = core::pmvn_dense(rt, l, pb.a, pb.b, opts).prob;
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_DOUBLE_EQ(core::pmvn_dense(rt, l, pb.a, pb.b, opts).prob, first)
+        << "rep=" << rep;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+// Golden-value regression tests for the hot scalar kernels: stats::normal
+// (Phi, log Phi, Phi^-1) and stats::bessel (K_nu, e^x K_nu).
+//
+// Reference constants were generated with mpmath 1.3.0 at 40 decimal digits
+// (erfc/erfinv/besselk), then rounded to the nearest double. Tolerance is
+// 1e-12 *relative*, far looser than the generators' error but tight enough
+// that any later SIMD/polynomial rewrite of these kernels cannot silently
+// drift: a change >1e-12 in Phi or K_nu is visible in the SOV integrand and
+// the Matern covariance entries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/bessel.hpp"
+#include "stats/normal.hpp"
+
+namespace {
+
+using parmvn::stats::bessel_k;
+using parmvn::stats::bessel_k_scaled;
+using parmvn::stats::norm_cdf;
+using parmvn::stats::norm_logcdf;
+using parmvn::stats::norm_quantile;
+
+constexpr double kRelTol = 1e-12;
+
+void expect_rel(double got, double want, const char* what, double arg) {
+  EXPECT_NEAR(got / want, 1.0, kRelTol) << what << "(" << arg << ")";
+}
+
+TEST(GoldenNormal, CdfMatchesMpmathReference) {
+  struct Case {
+    double x, phi;
+  };
+  constexpr Case kCases[] = {
+      {-8, 6.220960574271784124e-16}, {-5, 2.866515718791939117e-7},
+      {-2.5, 0.006209665325776135167}, {-1, 0.1586552539314570514},
+      {-0.5, 0.3085375387259868964},  {0.3, 0.6179114221889526373},
+      {1, 0.8413447460685429486},     {2, 0.9772498680518207928},
+      {4, 0.9999683287581668801},     {6, 0.999999999013412355},
+  };
+  for (const Case& c : kCases) expect_rel(norm_cdf(c.x), c.phi, "Phi", c.x);
+}
+
+TEST(GoldenNormal, LogCdfMatchesMpmathReference) {
+  struct Case {
+    double x, logphi;
+  };
+  constexpr Case kCases[] = {
+      {-20, -203.9171553710972639}, {-10, -53.23128515051247058},
+      {-5, -15.06499839398872574},  {-1, -1.841021645009263506},
+      {2, -0.02301290932896348847},
+  };
+  for (const Case& c : kCases)
+    expect_rel(norm_logcdf(c.x), c.logphi, "logPhi", c.x);
+}
+
+TEST(GoldenNormal, QuantileMatchesMpmathReference) {
+  struct Case {
+    double p, q;
+  };
+  // Each reference is Phi^-1 evaluated (via mpmath erfinv at 40 digits) at
+  // the *double-rounded* p literal, not the exact decimal: near p = 1 the
+  // derivative 1/phi(q) exceeds 1e8, so the rounding of e.g. 1 - 1e-9 to
+  // 0.9999999990000000827... moves the true quantile by ~8e-10 relative —
+  // three orders above kRelTol.
+  constexpr Case kCases[] = {
+      {1e-12, -7.034483825301131933},  {1e-6, -4.753424308822898957},
+      {0.001, -3.090232306167813535},  {0.025, -1.959963984540054212},
+      {0.31, -0.4958503473474533329},  {0.75, 0.6744897501960817432},
+      {0.975, 1.959963984540053856},   {0.9999, 3.719016485455708387},
+      {1.0 - 1e-9, 5.997807019601637426},
+  };
+  for (const Case& c : kCases)
+    expect_rel(norm_quantile(c.p), c.q, "Phi^-1", c.p);
+  // p = 1/2 is exactly zero by symmetry — absolute, not relative.
+  EXPECT_EQ(norm_quantile(0.5), 0.0);
+}
+
+TEST(GoldenNormal, QuantileCdfRoundTripAtReferencePoints) {
+  for (double x : {-7.0, -3.0, -0.5, 0.25, 2.0, 5.0})
+    EXPECT_NEAR(norm_quantile(norm_cdf(x)), x, 1e-10 * (1.0 + std::fabs(x)))
+        << "x=" << x;
+}
+
+TEST(GoldenBessel, KnuMatchesMpmathReference) {
+  struct Case {
+    double nu, x, k, k_scaled;
+  };
+  constexpr Case kCases[] = {
+      {0, 0.1, 2.427069024702016613, 2.682326102262894383},
+      {0, 1, 0.4210244382407083333, 1.144463079806895015},
+      {0, 2.5, 0.06234755320036618603, 0.7595486903280995787},
+      {0, 10, 0.00001778006231616765181, 0.3916319344365986657},
+      {0.5, 0.1, 3.586166838797260145, 3.963327297606011013},
+      {0.5, 1, 0.4610685044478945584, 1.253314137315500251},
+      {0.5, 2.5, 0.06506594315400998893, 0.7926654595212022027},
+      {0.5, 10, 0.00001799347809370517961, 0.3963327297606011013},
+      {1, 0.1, 9.853844780870606135, 10.89018268304969657},
+      {1, 1, 0.6019072301972345747, 1.636153486263258247},
+      {1, 2.5, 0.07389081634774706365, 0.9001744239078780891},
+      {1, 10, 0.0000186487734538255846, 0.4107665705957887511},
+      {1.5, 0.1, 39.44783522676986159, 43.59660027366612115},
+      {1.5, 1, 0.9221370088957891169, 2.506628274631000502},
+      {1.5, 2.5, 0.0910923204156139845, 1.109731643329683084},
+      {1.5, 10, 0.00001979282590307569757, 0.4359660027366612115},
+      {2.5, 0.1, 1187.021223641893108, 1311.861335507589645},
+      {2.5, 1, 3.227479531135261909, 8.773198961208501758},
+      {2.5, 2.5, 0.1743767276527467703, 2.124343431516821903},
+      {2.5, 10, 0.00002393132586462788888, 0.5271225305815994648},
+      {0.3, 0.1, 2.805056475021572311, 3.100066839753631},
+      {0.3, 1, 0.4350760242088020243, 1.182659250604994196},
+      {0.3, 2.5, 0.06331387929629555952, 0.7713209521558293366},
+      {0.3, 10, 0.00001785660701682302245, 0.3933179436673579064},
+  };
+  for (const Case& c : kCases) {
+    EXPECT_NEAR(bessel_k(c.nu, c.x) / c.k, 1.0, kRelTol)
+        << "K_" << c.nu << "(" << c.x << ")";
+    EXPECT_NEAR(bessel_k_scaled(c.nu, c.x) / c.k_scaled, 1.0, kRelTol)
+        << "e^x K_" << c.nu << "(" << c.x << ")";
+  }
+}
+
+}  // namespace
