@@ -56,6 +56,63 @@ void BM_gemm(benchmark::State& state) {
 }
 BENCHMARK(BM_gemm)->Arg(128)->Arg(256)->Arg(512);
 
+// The seed's unblocked axpy-sweep GEMM (four C columns per pass), kept as
+// the baseline for the blocked/register-tiled kernel that replaced it —
+// modulo the column-remainder `if (blj == 0.0) continue;` zero-skip, a
+// NaN-propagation bug fixed in PR 2 (perf-neutral on random bench data).
+// BM_gemm vs BM_gemm_axpy_seed at equal sizes is the before/after series
+// for la::gemm.
+void gemm_axpy_seed(double alpha, la::ConstMatrixView a, la::ConstMatrixView b,
+                    la::MatrixView c) {
+  const i64 m = c.rows;
+  const i64 n = c.cols;
+  const i64 k = a.cols;
+  i64 j = 0;
+  for (; j + 4 <= n; j += 4) {
+    double* __restrict c0 = c.col(j);
+    double* __restrict c1 = c.col(j + 1);
+    double* __restrict c2 = c.col(j + 2);
+    double* __restrict c3 = c.col(j + 3);
+    for (i64 l = 0; l < k; ++l) {
+      const double* __restrict al = a.col(l);
+      const double b0 = alpha * b(l, j);
+      const double b1 = alpha * b(l, j + 1);
+      const double b2 = alpha * b(l, j + 2);
+      const double b3 = alpha * b(l, j + 3);
+      for (i64 i = 0; i < m; ++i) {
+        const double ai = al[i];
+        c0[i] += b0 * ai;
+        c1[i] += b1 * ai;
+        c2[i] += b2 * ai;
+        c3[i] += b3 * ai;
+      }
+    }
+  }
+  for (; j < n; ++j) {
+    double* __restrict cj = c.col(j);
+    for (i64 l = 0; l < k; ++l) {
+      const double blj = alpha * b(l, j);
+      const double* __restrict al = a.col(l);
+      for (i64 i = 0; i < m; ++i) cj[i] += blj * al[i];
+    }
+  }
+}
+
+void BM_gemm_axpy_seed(benchmark::State& state) {
+  const i64 nb = state.range(0);
+  const la::Matrix a = random_matrix(nb, nb, 1);
+  const la::Matrix b = random_matrix(nb, nb, 2);
+  la::Matrix c(nb, nb);
+  for (auto _ : state) {
+    gemm_axpy_seed(1.0, a.view(), b.view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      2.0 * nb * nb * nb * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_gemm_axpy_seed)->Arg(128)->Arg(256)->Arg(512);
+
 void BM_potrf(benchmark::State& state) {
   const i64 nb = state.range(0);
   la::Matrix a = random_matrix(nb, nb, 4);

@@ -3,50 +3,18 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/microkernel.hpp"
+
+// Semantics note (uniform across every kernel in this file): there are no
+// value-dependent skips on any accumulation path. A zero multiplier still
+// contributes 0 * x, so NaN/Inf propagate exactly as in the reference BLAS
+// and identically in every row/column position. Early-outs key only on the
+// scalar parameters alpha/beta (part of the documented BLAS contract, e.g.
+// alpha == 0 never reads A), never on matrix data.
+
 namespace parmvn::la {
 
 namespace {
-
-// Core NN kernel: C += alpha * A * B with A (m x k), B (k x n) both
-// column-major. Columns of C are updated with axpy sweeps; processing four
-// columns of C per pass amortises the streaming of A fourfold, which is the
-// main lever on a cache-resident tile multiply.
-void gemm_nn_accum(double alpha, ConstMatrixView a, ConstMatrixView b,
-                   MatrixView c) {
-  const i64 m = c.rows;
-  const i64 n = c.cols;
-  const i64 k = a.cols;
-  i64 j = 0;
-  for (; j + 4 <= n; j += 4) {
-    double* __restrict c0 = c.col(j);
-    double* __restrict c1 = c.col(j + 1);
-    double* __restrict c2 = c.col(j + 2);
-    double* __restrict c3 = c.col(j + 3);
-    for (i64 l = 0; l < k; ++l) {
-      const double* __restrict al = a.col(l);
-      const double b0 = alpha * b(l, j);
-      const double b1 = alpha * b(l, j + 1);
-      const double b2 = alpha * b(l, j + 2);
-      const double b3 = alpha * b(l, j + 3);
-      for (i64 i = 0; i < m; ++i) {
-        const double ai = al[i];
-        c0[i] += b0 * ai;
-        c1[i] += b1 * ai;
-        c2[i] += b2 * ai;
-        c3[i] += b3 * ai;
-      }
-    }
-  }
-  for (; j < n; ++j) {
-    double* __restrict cj = c.col(j);
-    for (i64 l = 0; l < k; ++l) {
-      const double blj = alpha * b(l, j);
-      if (blj == 0.0) continue;
-      const double* __restrict al = a.col(l);
-      for (i64 i = 0; i < m; ++i) cj[i] += blj * al[i];
-    }
-  }
-}
 
 void scale_matrix(double beta, MatrixView c) {
   if (beta == 1.0) return;
@@ -78,24 +46,7 @@ void gemm(Trans trans_a, Trans trans_b, double alpha, ConstMatrixView a,
   scale_matrix(beta, c);
   if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
 
-  // Normalise to the NN kernel by materialising transposed operands. The
-  // packing cost is O(mk + kn), negligible next to the O(mkn) multiply for
-  // the tile shapes this library runs.
-  Matrix a_packed;
-  Matrix b_packed;
-  ConstMatrixView an = a;
-  ConstMatrixView bn = b;
-  if (trans_a == Trans::kYes) {
-    a_packed = Matrix(m, k);
-    transpose_into(a, a_packed.view());
-    an = a_packed.view();
-  }
-  if (trans_b == Trans::kYes) {
-    b_packed = Matrix(k, n);
-    transpose_into(b, b_packed.view());
-    bn = b_packed.view();
-  }
-  gemm_nn_accum(alpha, an, bn, c);
+  detail::gemm_packed(alpha, trans_a, a, trans_b, b, c);
 }
 
 void syrk(Trans trans, double alpha, ConstMatrixView a, double beta,
@@ -106,8 +57,9 @@ void syrk(Trans trans, double alpha, ConstMatrixView a, double beta,
   PARMVN_EXPECTS(op_rows == n);
 
   // Block the lower triangle into column panels; off-diagonal panels are
-  // plain GEMMs, diagonal blocks are computed into a scratch square and the
-  // lower part copied back so the strictly-upper triangle of C stays intact.
+  // plain (microkernel-backed) GEMMs, diagonal blocks are computed into a
+  // scratch square and the lower part copied back so the strictly-upper
+  // triangle of C stays intact.
   constexpr i64 kBlock = 128;
   for (i64 j0 = 0; j0 < n; j0 += kBlock) {
     const i64 jb = std::min(kBlock, n - j0);
@@ -143,7 +95,9 @@ void syrk(Trans trans, double alpha, ConstMatrixView a, double beta,
 
 namespace {
 
-// Unblocked lower-triangular solves; panel sizes are <= the blocking factor.
+// Unblocked lower-triangular solves, used only on diagonal blocks whose size
+// is <= the blocking factor; the bulk of the update flops flow through the
+// blocked GEMM calls in trsm() below.
 void trsm_left_no_unblocked(ConstMatrixView l, MatrixView b) {
   // B <- L^-1 B, forward substitution, column-wise over RHS.
   const i64 n = l.rows;
@@ -180,7 +134,6 @@ void trsm_right_trans_unblocked(ConstMatrixView l, MatrixView b) {
     double* __restrict bj = b.col(j);
     for (i64 k = 0; k < j; ++k) {
       const double ljk = l(j, k);
-      if (ljk == 0.0) continue;
       const double* __restrict bk = b.col(k);
       for (i64 i = 0; i < m; ++i) bj[i] -= ljk * bk[i];
     }
@@ -197,7 +150,6 @@ void trsm_right_no_unblocked(ConstMatrixView l, MatrixView b) {
     double* __restrict bj = b.col(j);
     for (i64 k = j + 1; k < n; ++k) {
       const double lkj = l(k, j);
-      if (lkj == 0.0) continue;
       const double* __restrict bk = b.col(k);
       for (i64 i = 0; i < m; ++i) bj[i] -= lkj * bk[i];
     }
@@ -216,6 +168,9 @@ void trsm(Side side, Trans trans, double alpha, ConstMatrixView l,
   const i64 n = l.rows;
   PARMVN_EXPECTS((side == Side::kLeft ? b.rows : b.cols) == n);
   scale_matrix(alpha, b);
+  // alpha == 0 zeroes B, and L^-1 * 0 == 0 exactly: substitution would be a
+  // full triangular sweep over an all-zero B, so stop here (BLAS contract).
+  if (alpha == 0.0) return;
 
   if (side == Side::kLeft && trans == Trans::kNo) {
     // Forward-substitute block rows: B_k solved, then B_i -= L_ik B_k.
@@ -281,7 +236,6 @@ void gemv(Trans trans, double alpha, ConstMatrixView a, const double* x,
     }
     for (i64 j = 0; j < a.cols; ++j) {
       const double axj = alpha * x[j];
-      if (axj == 0.0) continue;
       const double* aj = a.col(j);
       for (i64 i = 0; i < m; ++i) y[i] += axj * aj[i];
     }
@@ -294,22 +248,48 @@ void gemv(Trans trans, double alpha, ConstMatrixView a, const double* x,
   }
 }
 
-void trmm_lower_notrans(ConstMatrixView l, MatrixView b) {
-  PARMVN_EXPECTS(l.rows == l.cols);
-  PARMVN_EXPECTS(b.rows == l.rows);
+namespace {
+
+// Unblocked in-place B <- L B on a diagonal block, from the last column of L
+// to the first: when column k of L is applied, rows > k of B still hold
+// original values already updated by larger-k columns, and row k has not
+// been consumed yet.
+void trmm_lower_notrans_unblocked(ConstMatrixView l, MatrixView b) {
   const i64 n = l.rows;
-  // In-place from the last column of L to the first: when column k of L is
-  // applied, rows > k of B still hold original values scaled already, and
-  // row k has not been consumed by earlier (larger-k) columns.
   for (i64 j = 0; j < b.cols; ++j) {
     double* __restrict bj = b.col(j);
     for (i64 k = n - 1; k >= 0; --k) {
       const double v = bj[k];
       bj[k] = l(k, k) * v;
-      if (v == 0.0) continue;
       const double* __restrict lk = l.col(k);
       for (i64 i = k + 1; i < n; ++i) bj[i] += v * lk[i];
     }
+  }
+}
+
+constexpr i64 kTrmmBlock = 128;
+
+}  // namespace
+
+void trmm_lower_notrans(ConstMatrixView l, MatrixView b) {
+  PARMVN_EXPECTS(l.rows == l.cols);
+  PARMVN_EXPECTS(b.rows == l.rows);
+  const i64 n = l.rows;
+  // Blocked, bottom-up over block rows of B: B_k <- L_kk B_k (unblocked
+  // triangular multiply) + L(k, :k) B(:k, :) (GEMM against rows of B that a
+  // bottom-up sweep has not consumed yet). Only the lower triangle of L is
+  // referenced — the GEMM panel l.sub(k0, 0, kb, k0) sits strictly below the
+  // diagonal, so garbage in the upper triangle stays inert.
+  for (i64 k0 = ((n - 1) / kTrmmBlock) * kTrmmBlock; k0 >= 0;
+       k0 -= kTrmmBlock) {
+    const i64 kb = std::min(kTrmmBlock, n - k0);
+    MatrixView bk = b.sub(k0, 0, kb, b.cols);
+    trmm_lower_notrans_unblocked(l.sub(k0, k0, kb, kb), bk);
+    if (k0 > 0) {
+      gemm(Trans::kNo, Trans::kNo, 1.0, l.sub(k0, 0, kb, k0),
+           b.sub(0, 0, k0, b.cols), 1.0, bk);
+    }
+    if (k0 == 0) break;
   }
 }
 

@@ -3,6 +3,16 @@
 // Only the operations the tile/TLR/PMVN algorithms need are implemented:
 // lower-triangular variants throughout (Cholesky-world). All kernels are
 // sequential; parallelism lives one level up, in the task runtime.
+//
+// The BLAS-3 kernels (gemm, and through it syrk/trsm/trmm) run on the
+// blocked, register-tiled microkernel in linalg/microkernel.hpp. Two
+// contracts hold everywhere:
+//  * Reference-BLAS NaN/Inf semantics: no value-dependent skips on any
+//    accumulation path (0 * Inf = NaN propagates, in every column position).
+//    Early-outs key only on the scalar alpha/beta parameters.
+//  * Determinism: for a given kernel and operand shape the floating-point
+//    reduction order is fixed — independent of data, thread count, and which
+//    worker runs the task (test_determinism relies on this).
 #pragma once
 
 #include "common/types.hpp"

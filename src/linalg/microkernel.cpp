@@ -1,0 +1,212 @@
+#include "linalg/microkernel.hpp"
+
+#include <algorithm>
+
+#include "common/aligned.hpp"
+
+namespace parmvn::la::detail {
+
+namespace {
+
+static_assert(kMC % kMR == 0, "A block must tile into full micro-panels");
+static_assert(kNC % kNR == 0, "B block must tile into full micro-panels");
+
+// Per-thread packing scratch. Worker threads of the task runtime each get
+// their own copy, so concurrent tile GEMMs never share panels; contents are
+// fully (re)written on every pack, so reuse cannot leak state between calls.
+struct PackScratch {
+  aligned_vector<double> a;  // kMC x kKC, column-panels of kMR rows
+  aligned_vector<double> b;  // kKC x kNC, row-panels of kNR columns
+};
+
+PackScratch& scratch() {
+  thread_local PackScratch s;
+  if (s.a.empty()) {
+    s.a.resize(static_cast<std::size_t>(kMC * kKC));
+    s.b.resize(static_cast<std::size_t>(kKC * kNC));
+  }
+  return s;
+}
+
+// Pack op(A)(i0:i0+mc, p0:p0+kc) into column-panels of kMR rows:
+// out[(ir/kMR) * kMR*kc + l*kMR + i] = op(A)(ir + i, l). The ragged bottom
+// panel is zero-padded to kMR rows so the microkernel always runs full
+// width; the padded rows are masked out at write-back.
+void pack_a(Trans trans, ConstMatrixView a, i64 i0, i64 p0, i64 mc, i64 kc,
+            double* __restrict out) {
+  for (i64 ir = 0; ir < mc; ir += kMR) {
+    const i64 mr = std::min(kMR, mc - ir);
+    if (trans == Trans::kNo) {
+      for (i64 l = 0; l < kc; ++l) {
+        const double* __restrict src = a.col(p0 + l) + i0 + ir;
+        for (i64 i = 0; i < mr; ++i) out[i] = src[i];
+        for (i64 i = mr; i < kMR; ++i) out[i] = 0.0;
+        out += kMR;
+      }
+    } else {
+      // op(A)(i, l) = a(p0 + l, i0 + i): walk columns of a (contiguous in l)
+      // and scatter into the panel.
+      for (i64 i = 0; i < mr; ++i) {
+        const double* __restrict src = a.col(i0 + ir + i) + p0;
+        for (i64 l = 0; l < kc; ++l) out[l * kMR + i] = src[l];
+      }
+      for (i64 i = mr; i < kMR; ++i)
+        for (i64 l = 0; l < kc; ++l) out[l * kMR + i] = 0.0;
+      out += kMR * kc;
+    }
+  }
+}
+
+// Pack op(B)(p0:p0+kc, j0:j0+nc) into row-panels of kNR columns:
+// out[(jr/kNR) * kNR*kc + l*kNR + j] = op(B)(l, jr + j), ragged right panel
+// zero-padded to kNR columns.
+void pack_b(Trans trans, ConstMatrixView b, i64 p0, i64 j0, i64 kc, i64 nc,
+            double* __restrict out) {
+  for (i64 jr = 0; jr < nc; jr += kNR) {
+    const i64 nr = std::min(kNR, nc - jr);
+    if (trans == Trans::kNo) {
+      // op(B)(l, j) = b(p0 + l, j0 + j): columns of b are contiguous in l.
+      for (i64 j = 0; j < nr; ++j) {
+        const double* __restrict src = b.col(j0 + jr + j) + p0;
+        for (i64 l = 0; l < kc; ++l) out[l * kNR + j] = src[l];
+      }
+      for (i64 j = nr; j < kNR; ++j)
+        for (i64 l = 0; l < kc; ++l) out[l * kNR + j] = 0.0;
+      out += kNR * kc;
+    } else {
+      // op(B)(l, j) = b(j0 + j, p0 + l): column p0+l of b is contiguous in j.
+      for (i64 l = 0; l < kc; ++l) {
+        const double* __restrict src = b.col(p0 + l) + j0 + jr;
+        for (i64 j = 0; j < nr; ++j) out[j] = src[j];
+        for (i64 j = nr; j < kNR; ++j) out[j] = 0.0;
+        out += kNR;
+      }
+    }
+  }
+}
+
+// The microkernel: acc(kMR x kNR) = sum_l apanel(:, l) * bpanel(l, :), then
+// C(0:mr, 0:nr) += alpha * acc.
+//
+// The accumulator tile must live in registers across the whole k loop — one
+// spilled accumulator turns every FMA into load+op+store and costs an order
+// of magnitude. A 16 x 4 double tile (8 zmm / 16 ymm vectors) is past what
+// compilers will reliably scalar-replace out of a plain local array, so on
+// GCC/Clang the eight accumulators are explicit vector-extension values
+// (lowered to the best ISA the TU is compiled for, AVX-512 down to SSE2);
+// elsewhere a scalar fallback keeps the identical reduction order.
+#if defined(__GNUC__) || defined(__clang__)
+
+using v8df = double __attribute__((vector_size(64), aligned(64)));
+
+inline v8df splat(double x) {
+  return v8df{x, x, x, x, x, x, x, x};
+}
+
+// apack panels start and stride at multiples of 128 bytes (kMR doubles), so
+// these loads are 64-byte aligned; memcpy keeps it strict-aliasing clean and
+// compiles to a single vmovapd.
+inline v8df load8(const double* p) {
+  v8df v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void micro_kernel(i64 kc, const double* __restrict ap,
+                  const double* __restrict bp, double alpha,
+                  double* __restrict c, i64 ldc, i64 mr, i64 nr) {
+  static_assert(kMR == 16 && kNR == 4,
+                "vector microkernel is written for a 16x4 tile");
+  v8df c00 = splat(0.0), c01 = splat(0.0);  // rows 0:8 / 8:16 of column 0
+  v8df c10 = splat(0.0), c11 = splat(0.0);
+  v8df c20 = splat(0.0), c21 = splat(0.0);
+  v8df c30 = splat(0.0), c31 = splat(0.0);
+  for (i64 l = 0; l < kc; ++l) {
+    const v8df a0 = load8(ap + l * kMR);
+    const v8df a1 = load8(ap + l * kMR + 8);
+    const double* __restrict bl = bp + l * kNR;
+    const v8df b0 = splat(bl[0]);
+    const v8df b1 = splat(bl[1]);
+    const v8df b2 = splat(bl[2]);
+    const v8df b3 = splat(bl[3]);
+    c00 += a0 * b0;
+    c01 += a1 * b0;
+    c10 += a0 * b1;
+    c11 += a1 * b1;
+    c20 += a0 * b2;
+    c21 += a1 * b2;
+    c30 += a0 * b3;
+    c31 += a1 * b3;
+  }
+  alignas(64) double acc[kMR * kNR];
+  __builtin_memcpy(acc + 0 * kMR, &c00, sizeof(c00));
+  __builtin_memcpy(acc + 0 * kMR + 8, &c01, sizeof(c01));
+  __builtin_memcpy(acc + 1 * kMR, &c10, sizeof(c10));
+  __builtin_memcpy(acc + 1 * kMR + 8, &c11, sizeof(c11));
+  __builtin_memcpy(acc + 2 * kMR, &c20, sizeof(c20));
+  __builtin_memcpy(acc + 2 * kMR + 8, &c21, sizeof(c21));
+  __builtin_memcpy(acc + 3 * kMR, &c30, sizeof(c30));
+  __builtin_memcpy(acc + 3 * kMR + 8, &c31, sizeof(c31));
+  for (i64 j = 0; j < nr; ++j) {
+    double* __restrict cj = c + j * ldc;
+    for (i64 i = 0; i < mr; ++i) cj[i] += alpha * acc[j * kMR + i];
+  }
+}
+
+#else  // scalar fallback, same reduction order
+
+void micro_kernel(i64 kc, const double* __restrict ap,
+                  const double* __restrict bp, double alpha,
+                  double* __restrict c, i64 ldc, i64 mr, i64 nr) {
+  double acc[kMR * kNR];
+  for (i64 x = 0; x < kMR * kNR; ++x) acc[x] = 0.0;
+  for (i64 l = 0; l < kc; ++l) {
+    const double* __restrict al = ap + l * kMR;
+    const double* __restrict bl = bp + l * kNR;
+    for (i64 j = 0; j < kNR; ++j) {
+      const double bv = bl[j];
+      for (i64 i = 0; i < kMR; ++i) acc[j * kMR + i] += al[i] * bv;
+    }
+  }
+  for (i64 j = 0; j < nr; ++j) {
+    double* __restrict cj = c + j * ldc;
+    for (i64 i = 0; i < mr; ++i) cj[i] += alpha * acc[j * kMR + i];
+  }
+}
+
+#endif
+
+}  // namespace
+
+void gemm_packed(double alpha, Trans trans_a, ConstMatrixView a,
+                 Trans trans_b, ConstMatrixView b, MatrixView c) {
+  const i64 m = c.rows;
+  const i64 n = c.cols;
+  const i64 k = (trans_a == Trans::kNo) ? a.cols : a.rows;
+  PackScratch& s = scratch();
+  double* const apack = s.a.data();
+  double* const bpack = s.b.data();
+
+  for (i64 jc = 0; jc < n; jc += kNC) {
+    const i64 nc = std::min(kNC, n - jc);
+    for (i64 pc = 0; pc < k; pc += kKC) {
+      const i64 kc = std::min(kKC, k - pc);
+      pack_b(trans_b, b, pc, jc, kc, nc, bpack);
+      for (i64 ic = 0; ic < m; ic += kMC) {
+        const i64 mc = std::min(kMC, m - ic);
+        pack_a(trans_a, a, ic, pc, mc, kc, apack);
+        for (i64 jr = 0; jr < nc; jr += kNR) {
+          const i64 nr = std::min(kNR, nc - jr);
+          const double* bp = bpack + (jr / kNR) * (kNR * kc);
+          for (i64 ir = 0; ir < mc; ir += kMR) {
+            const i64 mr = std::min(kMR, mc - ir);
+            const double* ap = apack + (ir / kMR) * (kMR * kc);
+            micro_kernel(kc, ap, bp, alpha, &c(ic + ir, jc + jr), c.ld, mr, nr);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace parmvn::la::detail

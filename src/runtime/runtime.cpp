@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
 #include <deque>
 #include <exception>
 #include <mutex>
@@ -246,9 +247,31 @@ Runtime::Runtime(int num_threads, bool enable_trace)
 Runtime::Runtime() : Runtime(default_num_threads(), false) {}
 
 Runtime::~Runtime() {
-  if (impl_ && !impl_->inline_mode) {
+  if (!impl_) return;
+  std::exception_ptr pending;
+  if (impl_->inline_mode) {
+    pending = impl_->first_error;
+  } else {
     std::unique_lock lock(impl_->mutex);
     impl_->done_cv.wait(lock, [this] { return impl_->in_flight == 0; });
+    pending = impl_->first_error;
+  }
+  // A destructor cannot throw, but an epoch error the caller never
+  // wait_all()'d for must not vanish silently either: surface it on stderr.
+  if (pending) {
+    try {
+      std::rethrow_exception(pending);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "[parmvn::rt] Runtime destroyed with an unretrieved task "
+                   "error (no wait_all() after the failing submit): %s\n",
+                   e.what());
+    } catch (...) {
+      std::fprintf(stderr,
+                   "[parmvn::rt] Runtime destroyed with an unretrieved "
+                   "non-std task exception (no wait_all() after the failing "
+                   "submit)\n");
+    }
   }
 }
 

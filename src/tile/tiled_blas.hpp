@@ -1,5 +1,9 @@
 // Tile algorithms for dense BLAS-3 operations, submitted as runtime task
-// graphs (the Chameleon layer).
+// graphs (the Chameleon layer). Every task body executes a sequential
+// la::* kernel backed by the blocked microkernel (linalg/microkernel.hpp);
+// its per-thread packing scratch makes concurrent tile tasks allocation-free
+// after warm-up, and its shape-only reduction order keeps tiled results
+// bitwise identical across worker counts.
 #pragma once
 
 #include "tile/tile_matrix.hpp"

@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <tuple>
+#include <vector>
 
 #include "linalg/blas.hpp"
 #include "linalg/matrix.hpp"
@@ -93,6 +95,105 @@ TEST(Gemm, AlphaZeroOnlyScales) {
   for (i64 j = 0; j < 5; ++j)
     for (i64 i = 0; i < 6; ++i)
       EXPECT_DOUBLE_EQ(c(i, j), 2.0 * expected(i, j));
+}
+
+// Microkernel edge coverage: every remainder class of the blocked kernel
+// (below/at/above the 16x4 microtile and the 128/192/1024 cache blocks is
+// overkill here, but 63/64/65 exercises the packed-panel ragged edges), and
+// every operand is an interior sub-view of a larger parent so ld > rows and
+// row offsets are live.
+TEST(GemmEdge, ShapeSweepWithOffsetViews) {
+  const i64 sizes[] = {1, 7, 8, 9, 63, 64, 65};
+  for (const i64 m : sizes) {
+    for (const i64 n : sizes) {
+      for (const i64 k : sizes) {
+        for (int tai = 0; tai < 2; ++tai) {
+          for (int tbi = 0; tbi < 2; ++tbi) {
+            const Trans ta = tai != 0 ? Trans::kYes : Trans::kNo;
+            const Trans tb = tbi != 0 ? Trans::kYes : Trans::kNo;
+            const i64 ar = (ta == Trans::kNo) ? m : k;
+            const i64 ac = (ta == Trans::kNo) ? k : m;
+            const i64 br = (tb == Trans::kNo) ? k : n;
+            const i64 bc = (tb == Trans::kNo) ? n : k;
+            const u64 seed = static_cast<u64>(
+                ((m * 131 + n) * 131 + k) * 4 + tai * 2 + tbi);
+            const Matrix ap = random_matrix(ar + 5, ac + 2, seed);
+            const Matrix bp = random_matrix(br + 3, bc + 1, seed + 1);
+            const Matrix cp_orig = random_matrix(m + 4, n + 2, seed + 2);
+            Matrix cp = to_matrix(cp_orig.view());
+            Matrix cp_ref = to_matrix(cp.view());
+            la::gemm(ta, tb, -0.9, ap.sub(3, 1, ar, ac), bp.sub(2, 0, br, bc),
+                     0.4, cp.sub(1, 2, m, n));
+            gemm_naive(ta, tb, -0.9, ap.sub(3, 1, ar, ac),
+                       bp.sub(2, 0, br, bc), 0.4, cp_ref.sub(1, 2, m, n));
+            EXPECT_LT(la::frobenius_diff(cp.view(), cp_ref.view()),
+                      1e-12 * (1.0 + la::frobenius_norm(cp_ref.view())))
+                << "m=" << m << " n=" << n << " k=" << k << " ta=" << tai
+                << " tb=" << tbi;
+            // The frame around the C sub-view must be bit-untouched.
+            for (i64 j = 0; j < n + 2; ++j)
+              for (i64 i = 0; i < m + 4; ++i)
+                if (i < 1 || i >= 1 + m || j < 2 || j >= 2 + n) {
+                  ASSERT_EQ(cp(i, j), cp_orig(i, j));
+                }
+          }
+        }
+      }
+    }
+  }
+}
+
+// BLAS semantics: a zero multiplier still contributes 0 * x, so a 0 in B
+// against an Inf in A yields NaN — and it must do so in *every* column
+// position. The seed kernel skipped zeros only in its column-remainder loop,
+// so whether NaN appeared depended on n mod 4 and the column index.
+TEST(GemmSemantics, ZeroTimesInfIsNanInEveryColumnPosition) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (i64 n = 1; n <= 9; ++n) {
+    Matrix a = random_matrix(5, 3, 600 + static_cast<u64>(n));
+    a(2, 1) = kInf;
+    Matrix b = random_matrix(3, n, 700 + static_cast<u64>(n));
+    for (i64 j = 0; j < n; ++j) b(1, j) = 0.0;
+    Matrix c(5, n);
+    la::gemm(Trans::kNo, Trans::kNo, 1.0, a.view(), b.view(), 0.0, c.view());
+    for (i64 j = 0; j < n; ++j) {
+      EXPECT_TRUE(std::isnan(c(2, j))) << "n=" << n << " col=" << j;
+      EXPECT_TRUE(std::isfinite(c(0, j))) << "n=" << n << " col=" << j;
+    }
+  }
+}
+
+TEST(GemmSemantics, NanInAPoisonsItsRowInEveryColumnPosition) {
+  for (i64 n = 1; n <= 9; ++n) {
+    Matrix a = random_matrix(4, 6, 800 + static_cast<u64>(n));
+    a(1, 4) = std::numeric_limits<double>::quiet_NaN();
+    const Matrix b = random_matrix(6, n, 900 + static_cast<u64>(n));
+    Matrix c(4, n);
+    la::gemm(Trans::kNo, Trans::kNo, 1.0, a.view(), b.view(), 0.0, c.view());
+    for (i64 j = 0; j < n; ++j) {
+      EXPECT_TRUE(std::isnan(c(1, j))) << "n=" << n << " col=" << j;
+      EXPECT_TRUE(std::isfinite(c(0, j))) << "n=" << n << " col=" << j;
+    }
+  }
+}
+
+TEST(GemvSemantics, ZeroXTimesInfIsNanBothTransposes) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  Matrix a = random_matrix(5, 3, 1001);
+  a(2, 1) = kInf;
+  std::vector<double> x{1.5, 0.0, -2.0};
+  std::vector<double> y(5, 0.25);
+  la::gemv(Trans::kNo, 1.0, a.view(), x.data(), 1.0, y.data());
+  EXPECT_TRUE(std::isnan(y[2])) << "0 * Inf must reach y";
+  EXPECT_TRUE(std::isfinite(y[0]));
+
+  // Transposed: the dot against column 1 hits Inf * 0 as well.
+  std::vector<double> x2{1.0, -1.0, 0.0, 2.0, 0.5};
+  x2[2] = 0.0;
+  std::vector<double> y2(3, 0.0);
+  la::gemv(Trans::kYes, 1.0, a.view(), x2.data(), 0.0, y2.data());
+  EXPECT_TRUE(std::isnan(y2[1]));
+  EXPECT_TRUE(std::isfinite(y2[0]));
 }
 
 TEST(Gemm, ShapeMismatchThrows) {
@@ -192,6 +293,66 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values<i64>(1, 9, 64, 150, 257),
                        ::testing::Values<i64>(1, 5, 33),
                        ::testing::Values(0, 1), ::testing::Values(0, 1)));
+
+TEST(TrsmSemantics, ZeroLEntryTimesInfIsNanRightSide) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Right, kYes: column 0 of X is Inf; the j=1 update multiplies it by
+  // L(1,0) == 0, which must poison column 1 with NaN, not skip it.
+  {
+    Matrix l = lower_from_spd(3, 1101);
+    l(1, 0) = 0.0;
+    Matrix b = random_matrix(2, 3, 1102);
+    b(0, 0) = kInf;
+    b(1, 0) = kInf;
+    la::trsm(Side::kRight, Trans::kYes, 1.0, l.view(), b.view());
+    EXPECT_TRUE(std::isinf(b(0, 0)));
+    EXPECT_TRUE(std::isnan(b(0, 1)));
+    EXPECT_TRUE(std::isnan(b(1, 1)));
+  }
+  // Right, kNo: backward over columns; column 2 of X is Inf and the j=1
+  // update multiplies it by L(2,1) == 0.
+  {
+    Matrix l = lower_from_spd(3, 1103);
+    l(2, 1) = 0.0;
+    Matrix b = random_matrix(2, 3, 1104);
+    b(0, 2) = kInf;
+    b(1, 2) = kInf;
+    la::trsm(Side::kRight, Trans::kNo, 1.0, l.view(), b.view());
+    EXPECT_TRUE(std::isinf(b(0, 2)));
+    EXPECT_TRUE(std::isnan(b(0, 1)));
+    EXPECT_TRUE(std::isnan(b(1, 1)));
+  }
+}
+
+TEST(TrmmSemantics, ZeroBEntryTimesInfPropagatesNan) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  Matrix l = lower_from_spd(4, 1201);
+  l(3, 2) = kInf;
+  Matrix b = random_matrix(4, 2, 1202);
+  b(2, 0) = 0.0;
+  la::trmm_lower_notrans(l.view(), b.view());
+  EXPECT_TRUE(std::isnan(b(3, 0))) << "0 * Inf must not be skipped";
+  // Rows above the Inf entry never touch it and stay finite.
+  EXPECT_TRUE(std::isfinite(b(2, 0)));
+  EXPECT_TRUE(std::isfinite(b(2, 1)));
+}
+
+TEST(Trsm, AlphaZeroZeroesBWithoutTouchingL) {
+  // BLAS contract: alpha == 0 zeroes B and never reads L, even a singular
+  // or NaN-laden one; the seed ran a full substitution over the zeroed B.
+  Matrix l(3, 3);  // all-zero diagonal: any solve touching L would NaN/Inf
+  l(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  for (const Side side : {Side::kLeft, Side::kRight}) {
+    for (const Trans trans : {Trans::kNo, Trans::kYes}) {
+      Matrix b = random_matrix(3, 3, 1301);
+      la::trsm(side, trans, 0.0, l.view(), b.view());
+      for (i64 j = 0; j < 3; ++j)
+        for (i64 i = 0; i < 3; ++i)
+          EXPECT_EQ(b(i, j), 0.0) << static_cast<int>(side) << " "
+                                  << static_cast<int>(trans);
+    }
+  }
+}
 
 TEST(Trsm, AlphaScaling) {
   const Matrix l = lower_from_spd(6, 33);

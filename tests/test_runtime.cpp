@@ -160,6 +160,45 @@ TEST(Runtime, ExceptionPropagatesAndCancels) {
   EXPECT_EQ(ran.load(), 0) << "tasks after the failure must be cancelled";
 }
 
+TEST(Runtime, DestructorSurfacesUnretrievedError) {
+  // Regression: the destructor used to drain the final epoch and then drop a
+  // pending first_error on the floor. It cannot rethrow (destructor), but it
+  // must at least surface the what() on stderr.
+  ::testing::internal::CaptureStderr();
+  {
+    Runtime rt(2);
+    auto h = rt.register_data();
+    rt.submit("boom", {{h, Access::kWrite}},
+              [] { throw Error("lost-error-marker"); });
+    // No wait_all(): destruction is the only chance to see the error.
+  }
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("lost-error-marker"), std::string::npos) << err;
+}
+
+TEST(Runtime, DestructorSurfacesUnretrievedErrorInlineMode) {
+  ::testing::internal::CaptureStderr();
+  {
+    Runtime rt(0);
+    auto h = rt.register_data();
+    rt.submit("boom", {{h, Access::kWrite}},
+              [] { throw Error("inline-lost-error-marker"); });
+  }
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("inline-lost-error-marker"), std::string::npos) << err;
+}
+
+TEST(Runtime, DestructorQuietWhenErrorWasRetrieved) {
+  ::testing::internal::CaptureStderr();
+  {
+    Runtime rt(2);
+    auto h = rt.register_data();
+    rt.submit("boom", {{h, Access::kWrite}}, [] { throw Error("seen"); });
+    EXPECT_THROW(rt.wait_all(), Error);  // error consumed here
+  }
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
 TEST(Runtime, UsableAfterErrorEpoch) {
   Runtime rt(2);
   auto h = rt.register_data();
