@@ -50,6 +50,15 @@ int main(int argc, char** argv) {
                                                        {256, 537289},
                                                        {512, 760384}};
 
+  // Cray XC40 rates with the host-calibrated stream_efficiency ratio (see
+  // bench_fig7_distributed; analytic 0.25 remains the degenerate-probe
+  // fallback).
+  dist::MachineModel machine = dist::MachineModel::cray_xc40();
+  machine.stream_efficiency =
+      dist::calibrated_machine(dist::calibrate_host(256)).stream_efficiency;
+  std::printf("# calibrated stream_efficiency %.3f\n",
+              machine.stream_efficiency);
+
   std::printf("nodes,n,dense_s,tlr_s,speedup,chol_speedup\n");
   for (const Row& row : rows) {
     dist::DistConfig cfg;
@@ -59,6 +68,7 @@ int main(int argc, char** argv) {
     cfg.nodes = row.nodes;
     cfg.ranks = ranks;
     cfg.max_sim_tiles = args.quick ? 80 : 140;
+    cfg.machine = machine;
     cfg.tlr = false;
     const dist::DistPrediction dense = dist::predict_pmvn(cfg);
     cfg.tlr = true;

@@ -1,0 +1,32 @@
+// FNV-1a — the library's one non-cryptographic byte hash, used for cache-key
+// material (factor cache, generator identities). Exactness guarantees must
+// come from the caller (e.g. element-wise comparison on cache hits); the
+// hash only provides cheap discrimination.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace parmvn {
+
+inline constexpr u64 kFnv1aOffset = 14695981039346656037ull;
+inline constexpr u64 kFnv1aPrime = 1099511628211ull;
+/// Second, independently seeded stream for 128-bit content keys (the golden
+/// ratio in 64 bits xored into the offset): run both streams over the same
+/// bytes and concatenate.
+inline constexpr u64 kFnv1aOffset2 = kFnv1aOffset ^ 0x9e3779b97f4a7c15ull;
+
+/// Fold `bytes` bytes at `data` into the running hash `h` (seed with
+/// kFnv1aOffset).
+[[nodiscard]] inline u64 fnv1a_append(u64 h, const void* data,
+                                      std::size_t bytes) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+}  // namespace parmvn

@@ -3,15 +3,162 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <numeric>
+#include <utility>
 
 #include "common/contracts.hpp"
 #include "common/timer.hpp"
+#include "engine/pmvn_engine.hpp"
 #include "stats/normal.hpp"
-#include "tile/tiled_potrf.hpp"
-#include "tlr/tlr_potrf.hpp"
 
 namespace parmvn::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+engine::FactorSpec factor_spec(const CrdOptions& opts) {
+  engine::FactorSpec spec;
+  spec.kind = opts.mode == CrdMode::kDense ? engine::FactorKind::kDense
+                                           : engine::FactorKind::kTlr;
+  spec.tile = opts.tile;
+  spec.tlr_tol = opts.tlr_tol;
+  spec.tlr_max_rank = opts.tlr_max_rank;
+  return spec;
+}
+
+// A query normalised into E+ space: kBelow becomes kAbove of the reflected
+// field (X < u <=> -X > -u; the covariance is reflection-invariant), which
+// only flips the sign of the standardised threshold z.
+struct PreparedQuery {
+  double alpha = 0.0;
+  u64 seed = 0;
+  std::vector<double> marginal;  // original indexing
+  std::vector<i64> order;        // descending marginal
+  std::vector<double> a_ord;     // lower limits in the ordered space
+};
+
+PreparedQuery prepare_query(std::span<const double> sd,
+                            std::span<const double> mean, const CrdQuery& q,
+                            u64 default_seed) {
+  PARMVN_EXPECTS(q.alpha > 0.0 && q.alpha < 1.0);
+  const i64 n = static_cast<i64>(mean.size());
+  PreparedQuery pq;
+  pq.alpha = q.alpha;
+  pq.seed = q.seed.value_or(default_seed);
+
+  // Lines 3-5 of Algorithm 1: marginal exceedance probabilities of the
+  // (possibly reflected) field.
+  pq.marginal.resize(static_cast<std::size_t>(n));
+  std::vector<double> z(static_cast<std::size_t>(n));
+  for (i64 i = 0; i < n; ++i) {
+    const double zi =
+        (q.threshold - mean[static_cast<std::size_t>(i)]) /
+        sd[static_cast<std::size_t>(i)];
+    z[static_cast<std::size_t>(i)] =
+        q.direction == CrdDirection::kAbove ? zi : -zi;
+    pq.marginal[static_cast<std::size_t>(i)] =
+        1.0 - stats::norm_cdf(z[static_cast<std::size_t>(i)]);
+  }
+
+  // Line 6: order locations by descending marginal probability.
+  pq.order.resize(static_cast<std::size_t>(n));
+  std::iota(pq.order.begin(), pq.order.end(), i64{0});
+  std::stable_sort(pq.order.begin(), pq.order.end(), [&](i64 x, i64 y) {
+    return pq.marginal[static_cast<std::size_t>(x)] >
+           pq.marginal[static_cast<std::size_t>(y)];
+  });
+
+  // Limits in the ordered, standardised space: the event is
+  // {X_ord > z_ord} component-wise, i.e. a = z, b = +inf.
+  pq.a_ord.resize(static_cast<std::size_t>(n));
+  for (i64 i = 0; i < n; ++i)
+    pq.a_ord[static_cast<std::size_t>(i)] =
+        z[static_cast<std::size_t>(pq.order[static_cast<std::size_t>(i)])];
+  return pq;
+}
+
+// Confidence function (monotone non-increasing envelope of the prefix
+// probabilities mapped back to original indices) and the level set.
+void finalize_result(PreparedQuery&& pq, std::vector<double> prefix_prob,
+                     CrdResult& res) {
+  const i64 n = static_cast<i64>(pq.marginal.size());
+  res.marginal = std::move(pq.marginal);
+  res.order = std::move(pq.order);
+  res.prefix_prob = std::move(prefix_prob);
+
+  res.confidence.resize(static_cast<std::size_t>(n));
+  double running = 1.0;
+  for (i64 i = 0; i < n; ++i) {
+    running = std::min(running, res.prefix_prob[static_cast<std::size_t>(i)]);
+    res.confidence[static_cast<std::size_t>(
+        res.order[static_cast<std::size_t>(i)])] = running;
+  }
+
+  const double level = 1.0 - pq.alpha;
+  res.region.assign(static_cast<std::size_t>(n), 0);
+  res.region_size = 0;
+  for (i64 i = 0; i < n; ++i) {
+    if (res.confidence[static_cast<std::size_t>(i)] >= level) {
+      res.region[static_cast<std::size_t>(i)] = 1;
+      ++res.region_size;
+    }
+  }
+}
+
+// Literal Algorithm 1 oracle: one full PMVN per prefix. The prefixes are
+// evaluated as chunked batches of limit sets against one dense factor —
+// per-query arithmetic is identical to one-at-a-time evaluation, so this
+// stays a bitwise-faithful oracle for the sweep strategy.
+CrdResult naive_per_prefix(rt::Runtime& rt, const la::MatrixGenerator& cov,
+                           std::span<const double> sd,
+                           std::span<const double> mean,
+                           const CrdOptions& opts) {
+  const i64 n = cov.rows();
+  CrdQuery query{opts.threshold, opts.alpha, opts.direction,
+                 opts.pmvn.seed};
+  PreparedQuery pq = prepare_query(sd, mean, query, opts.pmvn.seed);
+
+  const engine::FactorSpec spec{engine::FactorKind::kDense, opts.tile, 0.0,
+                                -1};
+  auto factor = std::make_shared<const engine::CholeskyFactor>(
+      engine::CholeskyFactor::factor_ordered(rt, cov, pq.order, spec, sd));
+  const engine::PmvnEngine eng(rt, factor, engine_options(opts.pmvn));
+
+  const WallTimer sweep_timer;
+  std::vector<double> prefix_prob(static_cast<std::size_t>(n));
+  const std::vector<double> b_ord(static_cast<std::size_t>(n), kInf);
+  constexpr i64 kChunk = 16;
+  for (i64 k0 = 0; k0 < n; k0 += kChunk) {
+    const i64 kc = std::min(kChunk, n - k0);
+    // Prefix k keeps limits on the first k+1 coordinates only; the rest are
+    // (-inf, inf) and contribute an exact factor 1.
+    std::vector<std::vector<double>> partials(static_cast<std::size_t>(kc));
+    std::vector<engine::LimitSet> limits(static_cast<std::size_t>(kc));
+    for (i64 c = 0; c < kc; ++c) {
+      std::vector<double>& a_partial = partials[static_cast<std::size_t>(c)];
+      a_partial.assign(static_cast<std::size_t>(n), -kInf);
+      for (i64 i = 0; i <= k0 + c; ++i)
+        a_partial[static_cast<std::size_t>(i)] =
+            pq.a_ord[static_cast<std::size_t>(i)];
+      limits[static_cast<std::size_t>(c)] =
+          engine::LimitSet{a_partial, b_ord, pq.seed, /*prefix=*/false};
+    }
+    const std::vector<engine::QueryResult> chunk = eng.evaluate(limits);
+    for (i64 c = 0; c < kc; ++c)
+      prefix_prob[static_cast<std::size_t>(k0 + c)] =
+          chunk[static_cast<std::size_t>(c)].prob;
+  }
+
+  CrdResult res;
+  res.factor_seconds = factor->factor_seconds();
+  res.sweep_seconds = sweep_timer.seconds();
+  finalize_result(std::move(pq), std::move(prefix_prob), res);
+  return res;
+}
+
+}  // namespace
 
 CrdResult detect_confidence_region(rt::Runtime& rt,
                                    const la::MatrixGenerator& cov,
@@ -22,118 +169,100 @@ CrdResult detect_confidence_region(rt::Runtime& rt,
   PARMVN_EXPECTS(static_cast<i64>(mean.size()) == n);
   PARMVN_EXPECTS(opts.alpha > 0.0 && opts.alpha < 1.0);
 
-  if (opts.direction == CrdDirection::kBelow) {
-    // E-_{u,alpha}(X) == E+_{-u,alpha}(-X): negate the mean and threshold
-    // (the covariance is reflection-invariant) and recurse.
-    std::vector<double> neg_mean(mean.begin(), mean.end());
-    for (double& m : neg_mean) m = -m;
-    CrdOptions flipped = opts;
-    flipped.direction = CrdDirection::kAbove;
-    flipped.threshold = -opts.threshold;
-    return detect_confidence_region(rt, cov, neg_mean, flipped);
+  if (opts.strategy == CrdStrategy::kNaivePerPrefix) {
+    const std::vector<double> sd = engine::standard_deviations(cov);
+    return naive_per_prefix(rt, cov, sd, mean, opts);
   }
+  const CrdQuery query{opts.threshold, opts.alpha, opts.direction,
+                       opts.pmvn.seed};
+  std::vector<CrdResult> results =
+      detect_confidence_regions(rt, cov, mean, opts, {&query, 1});
+  return std::move(results.front());
+}
 
-  CrdResult res;
+std::vector<CrdResult> detect_confidence_regions(
+    rt::Runtime& rt, const la::MatrixGenerator& cov,
+    std::span<const double> mean, const CrdOptions& opts,
+    std::span<const CrdQuery> queries, engine::FactorCache* cache) {
+  const i64 n = cov.rows();
+  PARMVN_EXPECTS(cov.cols() == n);
+  PARMVN_EXPECTS(static_cast<i64>(mean.size()) == n);
+  PARMVN_EXPECTS(opts.strategy == CrdStrategy::kSweep);
+  if (queries.empty()) return {};
 
-  // Lines 3-5 of Algorithm 1: marginal exceedance probabilities.
-  res.marginal.resize(static_cast<std::size_t>(n));
-  std::vector<double> z_threshold(static_cast<std::size_t>(n));
-  for (i64 i = 0; i < n; ++i) {
-    const double sd = std::sqrt(cov.entry(i, i));
-    PARMVN_EXPECTS(sd > 0.0);
-    const double z = (opts.threshold - mean[static_cast<std::size_t>(i)]) / sd;
-    z_threshold[static_cast<std::size_t>(i)] = z;
-    res.marginal[static_cast<std::size_t>(i)] = 1.0 - stats::norm_cdf(z);
-  }
+  const std::vector<double> sd = engine::standard_deviations(cov);
 
-  // Line 6: order locations by descending marginal probability.
-  res.order.resize(static_cast<std::size_t>(n));
-  std::iota(res.order.begin(), res.order.end(), i64{0});
-  std::stable_sort(res.order.begin(), res.order.end(), [&](i64 x, i64 y) {
-    return res.marginal[static_cast<std::size_t>(x)] >
-           res.marginal[static_cast<std::size_t>(y)];
-  });
+  std::vector<PreparedQuery> prepared;
+  prepared.reserve(queries.size());
+  for (const CrdQuery& q : queries)
+    prepared.push_back(prepare_query(sd, mean, q, opts.pmvn.seed));
 
-  // Limits in the ordered, standardised space: the event is
-  // {X_ord > z_ord} component-wise, i.e. a = z, b = +inf.
-  const double inf = std::numeric_limits<double>::infinity();
-  std::vector<double> a_ord(static_cast<std::size_t>(n));
-  std::vector<double> b_ord(static_cast<std::size_t>(n), inf);
-  for (i64 i = 0; i < n; ++i)
-    a_ord[static_cast<std::size_t>(i)] =
-        z_threshold[static_cast<std::size_t>(res.order[static_cast<std::size_t>(i)])];
+  // Group queries by marginal ordering: one factor (and one fused batched
+  // sweep) per distinct permutation. With a constant-variance field the
+  // ordering is threshold-independent, so typical multi-threshold batches
+  // collapse into a single group.
+  std::map<std::vector<i64>, std::vector<std::size_t>> groups;
+  for (std::size_t qi = 0; qi < prepared.size(); ++qi)
+    groups[prepared[qi].order].push_back(qi);
 
-  // Correlation matrix in the opM order.
-  const geo::CorrelationGenerator corr(cov);
-  const geo::PermutedGenerator permuted(corr, res.order);
+  const engine::FactorSpec spec = factor_spec(opts);
+  std::vector<CrdResult> results(queries.size());
+  const std::vector<double> b_ord(static_cast<std::size_t>(n), kInf);
 
-  // Lines 7-8: factorization (dense tiled or TLR), then the PMVN sweep.
-  PmvnOptions pmvn_opts = opts.pmvn;
-  pmvn_opts.prefix = (opts.strategy == CrdStrategy::kSweep);
-
-  if (opts.strategy == CrdStrategy::kSweep) {
-    if (opts.mode == CrdMode::kDense) {
-      WallTimer factor_timer;
-      tile::TileMatrix l(rt, n, n, opts.tile, tile::Layout::kLowerSymmetric,
-                         "Sigma");
-      l.generate_async(rt, permuted);
-      rt.wait_all();
-      tile::potrf_tiled(rt, l);
-      res.factor_seconds = factor_timer.seconds();
-      const PmvnResult pr = pmvn_dense(rt, l, a_ord, b_ord, pmvn_opts);
-      res.prefix_prob = pr.prefix_prob;
-      res.sweep_seconds = pr.seconds;
+  for (auto& [order, members] : groups) {
+    std::shared_ptr<const engine::CholeskyFactor> factor;
+    bool cached = false;
+    double factor_paid_s = 0.0;
+    if (cache != nullptr) {
+      const i64 hits_before = cache->stats().hits;
+      const WallTimer factor_timer;
+      factor = cache->get_or_factor(rt, cov, order, spec, sd);
+      cached = cache->stats().hits > hits_before;
+      factor_paid_s = cached ? 0.0 : factor_timer.seconds();
     } else {
-      WallTimer factor_timer;
-      tlr::TlrMatrix l =
-          tlr::TlrMatrix::compress(rt, permuted, opts.tile, opts.tlr_tol,
-                                   opts.tlr_max_rank);
-      tlr::potrf_tlr(rt, l);
-      res.factor_seconds = factor_timer.seconds();
-      const PmvnResult pr = pmvn_tlr(rt, l, a_ord, b_ord, pmvn_opts);
-      res.prefix_prob = pr.prefix_prob;
-      res.sweep_seconds = pr.seconds;
+      factor = std::make_shared<const engine::CholeskyFactor>(
+          engine::CholeskyFactor::factor_ordered(rt, cov, order, spec, sd));
+      factor_paid_s = factor->factor_seconds();
     }
-  } else {
-    // Literal Algorithm 1: one full PMVN per prefix (test oracle).
-    WallTimer factor_timer;
-    tile::TileMatrix l(rt, n, n, opts.tile, tile::Layout::kLowerSymmetric,
-                       "Sigma");
-    l.generate_async(rt, permuted);
-    rt.wait_all();
-    tile::potrf_tiled(rt, l);
-    res.factor_seconds = factor_timer.seconds();
-    WallTimer sweep_timer;
-    res.prefix_prob.resize(static_cast<std::size_t>(n));
-    std::vector<double> a_partial(static_cast<std::size_t>(n), -inf);
-    for (i64 i = 0; i < n; ++i) {
-      a_partial[static_cast<std::size_t>(i)] = a_ord[static_cast<std::size_t>(i)];
-      const PmvnResult pr = pmvn_dense(rt, l, a_partial, b_ord, pmvn_opts);
-      res.prefix_prob[static_cast<std::size_t>(i)] = pr.prob;
-    }
-    res.sweep_seconds = sweep_timer.seconds();
-  }
 
-  // Confidence function: monotone (non-increasing) envelope of the prefix
-  // probabilities mapped back to original indices. Prefix probabilities are
-  // mathematically non-increasing; the envelope removes QMC noise.
-  res.confidence.resize(static_cast<std::size_t>(n));
-  double running = 1.0;
-  for (i64 i = 0; i < n; ++i) {
-    running = std::min(running, res.prefix_prob[static_cast<std::size_t>(i)]);
-    res.confidence[static_cast<std::size_t>(
-        res.order[static_cast<std::size_t>(i)])] = running;
-  }
+    // Deduplicate identical integrals within the group: queries differing
+    // only in alpha share (a_ord, seed) and therefore the exact same prefix
+    // sweep — an alpha-level sweep costs one integration, not k.
+    const engine::PmvnEngine eng(rt, factor, engine_options(opts.pmvn));
+    std::vector<engine::LimitSet> limits;
+    std::vector<std::size_t> slot_of_member(members.size());
+    for (std::size_t mi = 0; mi < members.size(); ++mi) {
+      const PreparedQuery& pq = prepared[members[mi]];
+      std::size_t slot = limits.size();
+      for (std::size_t s = 0; s < limits.size(); ++s) {
+        if (limits[s].seed == pq.seed &&
+            std::equal(limits[s].a.begin(), limits[s].a.end(),
+                       pq.a_ord.begin(), pq.a_ord.end())) {
+          slot = s;
+          break;
+        }
+      }
+      if (slot == limits.size())
+        limits.push_back(
+            engine::LimitSet{pq.a_ord, b_ord, pq.seed, /*prefix=*/true});
+      slot_of_member[mi] = slot;
+    }
+    const std::vector<engine::QueryResult> batch = eng.evaluate(limits);
 
-  const double level = 1.0 - opts.alpha;
-  res.region.assign(static_cast<std::size_t>(n), 0);
-  for (i64 i = 0; i < n; ++i) {
-    if (res.confidence[static_cast<std::size_t>(i)] >= level) {
-      res.region[static_cast<std::size_t>(i)] = 1;
-      ++res.region_size;
+    for (std::size_t mi = 0; mi < members.size(); ++mi) {
+      const std::size_t qi = members[mi];
+      const engine::QueryResult& qr = batch[slot_of_member[mi]];
+      CrdResult& res = results[qi];
+      // Attribute the group's one Cholesky and its one fused sweep to the
+      // first member, so summing the per-query costs over a batch gives the
+      // true totals.
+      res.factor_seconds = mi == 0 ? factor_paid_s : 0.0;
+      res.factor_cached = cached;
+      res.sweep_seconds = mi == 0 ? qr.seconds : 0.0;
+      finalize_result(std::move(prepared[qi]), qr.prefix_prob, res);
     }
   }
-  return res;
+  return results;
 }
 
 }  // namespace parmvn::core

@@ -1,5 +1,5 @@
 // Confidence-region (excursion-set) detection — the paper's Algorithm 1,
-// built on the PMVN sweep.
+// built on the factor-once / evaluate-many PMVN engine.
 //
 // Given a covariance model over n locations, a mean field, a threshold u and
 // a confidence level 1-alpha, computes the positive confidence function
@@ -11,12 +11,25 @@
 //    once — the running SOV product after row i IS the joint probability of
 //    the top-(i+1) locations (this is what makes large n tractable).
 //  * kNaivePerPrefix: the literal Algorithm 1 loop (one PMVN call per
-//    prefix); O(n) integrations, kept as a test oracle for small n.
+//    prefix); O(n) integrations, kept as a test oracle for small n. Since
+//    the engine refactor the prefixes are evaluated as batched limit sets
+//    against one factor, so even the oracle no longer refactors.
+//
+// Multi-query serving: detect_confidence_regions() evaluates many
+// (threshold, alpha, direction) queries against one mean field. Queries
+// whose marginal ordering agrees share a single Cholesky factor — obtained
+// from the optional engine::FactorCache, so repeated calls (serving) reuse
+// factors across requests — and are integrated in one fused batched sweep.
+// Each query's numbers are bitwise identical to a detect_confidence_region
+// call with the same parameters and seed.
 #pragma once
 
+#include <optional>
 #include <span>
+#include <vector>
 
 #include "core/pmvn.hpp"
+#include "engine/factor_cache.hpp"
 #include "geo/covgen.hpp"
 #include "linalg/generator.hpp"
 
@@ -42,16 +55,34 @@ struct CrdOptions {
   PmvnOptions pmvn;
 };
 
+/// One query of a batched detection: threshold/level/direction against the
+/// shared mean field. An unset seed inherits CrdOptions::pmvn.seed.
+struct CrdQuery {
+  double threshold = 0.0;
+  double alpha = 0.05;
+  CrdDirection direction = CrdDirection::kAbove;
+  std::optional<u64> seed;
+};
+
 struct CrdResult {
   std::vector<double> marginal;     // pM[i] = P(X_i > u), original indexing
+                                    // (P(X_i < u) for kBelow queries)
   std::vector<i64> order;           // opM: locations by descending marginal
   std::vector<double> prefix_prob;  // joint prob of the top-(i+1) set
   std::vector<double> confidence;   // F+ per original location (monotone
                                     // envelope of prefix_prob)
   std::vector<std::uint8_t> region; // 1 where F+ >= 1 - alpha
   i64 region_size = 0;
-  double factor_seconds = 0.0;      // Cholesky (dense or TLR) time
-  double sweep_seconds = 0.0;       // PMVN integration time
+  double factor_seconds = 0.0;      // Cholesky time paid by this call,
+                                    // attributed to the first query of each
+                                    // ordering group (0 for the group's
+                                    // other members and on cache hits), so
+                                    // a batch sum equals the true cost
+  double sweep_seconds = 0.0;       // PMVN integration time, attributed
+                                    // like factor_seconds: the group's
+                                    // fused-batch wall time on its first
+                                    // member, 0 on the others
+  bool factor_cached = false;       // factor came from the FactorCache
 };
 
 /// Detect the confidence region for the Gaussian field X ~ N(mean, cov).
@@ -60,5 +91,16 @@ struct CrdResult {
 [[nodiscard]] CrdResult detect_confidence_region(
     rt::Runtime& rt, const la::MatrixGenerator& cov,
     std::span<const double> mean, const CrdOptions& opts);
+
+/// Batched detection: evaluate every query against the shared field,
+/// factoring each distinct marginal ordering once (served from `cache` when
+/// provided) and integrating all queries of an ordering in one fused PMVN
+/// batch. Requires CrdStrategy::kSweep. Results are positionally matched to
+/// `queries`.
+[[nodiscard]] std::vector<CrdResult> detect_confidence_regions(
+    rt::Runtime& rt, const la::MatrixGenerator& cov,
+    std::span<const double> mean, const CrdOptions& opts,
+    std::span<const CrdQuery> queries,
+    engine::FactorCache* cache = nullptr);
 
 }  // namespace parmvn::core

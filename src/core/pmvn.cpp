@@ -1,209 +1,36 @@
 #include "core/pmvn.hpp"
 
-#include <algorithm>
+#include <memory>
+#include <utility>
 
 #include "common/contracts.hpp"
-#include "common/timer.hpp"
-#include "core/qmc_kernel.hpp"
-#include "linalg/blas.hpp"
-#include "tlr/lr_tile.hpp"
+#include "engine/pmvn_engine.hpp"
 
 namespace parmvn::core {
 
+engine::EngineOptions engine_options(const PmvnOptions& opts) {
+  engine::EngineOptions eo;
+  eo.samples_per_shift = opts.samples_per_shift;
+  eo.shifts = opts.shifts;
+  eo.sampler = opts.sampler;
+  eo.panel_bytes = opts.panel_bytes;
+  return eo;
+}
+
 namespace {
 
-// Policy wrapper for the dense tiled factor.
-struct DenseFactor {
-  const tile::TileMatrix& l;
-
-  [[nodiscard]] i64 dim() const { return l.rows(); }
-  [[nodiscard]] i64 tile_size() const { return l.tile_size(); }
-  [[nodiscard]] i64 row_tiles() const { return l.row_tiles(); }
-
-  [[nodiscard]] la::ConstMatrixView diag_view(i64 r) const {
-    return l.tile(r, r);
-  }
-  [[nodiscard]] rt::DataHandle diag_handle(i64 r) const {
-    return l.handle(r, r);
-  }
-  [[nodiscard]] rt::DataHandle off_handle(i64 i, i64 r) const {
-    return l.handle(i, r);
-  }
-
-  void apply_update(i64 i, i64 r, la::ConstMatrixView y, la::MatrixView a,
-                    la::MatrixView b) const {
-    la::ConstMatrixView lir = l.tile(i, r);
-    la::gemm(la::Trans::kNo, la::Trans::kNo, -1.0, lir, y, 1.0, a);
-    la::gemm(la::Trans::kNo, la::Trans::kNo, -1.0, lir, y, 1.0, b);
-  }
-};
-
-// Policy wrapper for the TLR factor: the propagation GEMM becomes
-// A -= U (V^T Y), B -= U (V^T Y).
-struct TlrFactor {
-  const tlr::TlrMatrix& l;
-
-  [[nodiscard]] i64 dim() const { return l.dim(); }
-  [[nodiscard]] i64 tile_size() const { return l.tile_size(); }
-  [[nodiscard]] i64 row_tiles() const { return l.num_tiles(); }
-
-  [[nodiscard]] la::ConstMatrixView diag_view(i64 r) const { return l.diag(r); }
-  [[nodiscard]] rt::DataHandle diag_handle(i64 r) const {
-    return l.diag_handle(r);
-  }
-  [[nodiscard]] rt::DataHandle off_handle(i64 i, i64 r) const {
-    return l.lr_handle(i, r);
-  }
-
-  void apply_update(i64 i, i64 r, la::ConstMatrixView y, la::MatrixView a,
-                    la::MatrixView b) const {
-    const tlr::LowRankTile& t = l.lr(i, r);
-    la::Matrix tmp(t.rank(), y.cols);
-    la::gemm(la::Trans::kYes, la::Trans::kNo, 1.0, t.v.view(), y, 0.0,
-             tmp.view());
-    la::gemm(la::Trans::kNo, la::Trans::kNo, -1.0, t.u.view(), tmp.view(), 1.0,
-             a);
-    la::gemm(la::Trans::kNo, la::Trans::kNo, -1.0, t.u.view(), tmp.view(), 1.0,
-             b);
-  }
-};
-
-template <class Factor>
-PmvnResult pmvn_impl(rt::Runtime& rt, const Factor& factor,
-                     std::span<const double> a, std::span<const double> b,
-                     const PmvnOptions& opts) {
-  const WallTimer timer;
-  const i64 n = factor.dim();
-  PARMVN_EXPECTS(static_cast<i64>(a.size()) == n);
-  PARMVN_EXPECTS(static_cast<i64>(b.size()) == n);
-  PARMVN_EXPECTS(opts.samples_per_shift >= 1 && opts.shifts >= 1);
-  const i64 m = factor.tile_size();
-  const i64 mt = factor.row_tiles();
-  const i64 num_samples = opts.total_samples();
-
-  const stats::PointSet pts(opts.sampler, n, opts.samples_per_shift,
-                            opts.shifts, opts.seed);
-
-  // Column-panel width: multiple of the tile size within the memory budget
-  // (3 matrices of n rows, 8 bytes each).
-  i64 panel_cols = opts.panel_bytes / (3 * 8 * n);
-  panel_cols = std::max(panel_cols, m);
-  panel_cols = (panel_cols / m) * m;
-
-  std::vector<double> p(static_cast<std::size_t>(num_samples), 1.0);
-  std::vector<double> prefix_total;
-  if (opts.prefix) prefix_total.assign(static_cast<std::size_t>(n), 0.0);
-
-  for (i64 col0 = 0; col0 < num_samples; col0 += panel_cols) {
-    const i64 pc = std::min(panel_cols, num_samples - col0);
-    tile::TileMatrix A(rt, n, pc, m, tile::Layout::kGeneral, "A");
-    tile::TileMatrix B(rt, n, pc, m, tile::Layout::kGeneral, "B");
-    tile::TileMatrix Y(rt, n, pc, m, tile::Layout::kGeneral, "Y");
-    const i64 nc = A.col_tiles();
-
-    // Per-column-tile probability blocks and prefix accumulators get their
-    // own dependency handles (they are written by every QMC task in the
-    // column, in tile-row order).
-    std::vector<rt::DataHandle> p_handles;
-    p_handles.reserve(static_cast<std::size_t>(nc));
-    for (i64 k = 0; k < nc; ++k) p_handles.push_back(rt.register_data("p"));
-    std::vector<std::vector<double>> prefix_acc;
-    if (opts.prefix) {
-      prefix_acc.assign(static_cast<std::size_t>(nc),
-                        std::vector<double>(static_cast<std::size_t>(n), 0.0));
-    }
-
-    // Initialise A/B tiles with the (replicated) limit vectors — the
-    // paper's lines 2-3 of Algorithm 2, one task per tile.
-    for (i64 r = 0; r < mt; ++r) {
-      for (i64 k = 0; k < nc; ++k) {
-        la::MatrixView at = A.tile(r, k);
-        la::MatrixView bt = B.tile(r, k);
-        const i64 row0 = r * m;
-        rt.submit("pmvn_init",
-                  {{A.handle(r, k), rt::Access::kWrite},
-                   {B.handle(r, k), rt::Access::kWrite}},
-                  [at, bt, row0, a, b] {
-                    for (i64 j = 0; j < at.cols; ++j)
-                      for (i64 i = 0; i < at.rows; ++i) {
-                        at(i, j) = a[static_cast<std::size_t>(row0 + i)];
-                        bt(i, j) = b[static_cast<std::size_t>(row0 + i)];
-                      }
-                  });
-      }
-    }
-
-    // The sweep: QMC on tile-row r, then propagate Y(r,:) into rows > r.
-    for (i64 r = 0; r < mt; ++r) {
-      la::ConstMatrixView lrr = factor.diag_view(r);
-      for (i64 k = 0; k < nc; ++k) {
-        la::ConstMatrixView at = A.tile(r, k);
-        la::ConstMatrixView bt = B.tile(r, k);
-        la::MatrixView yt = Y.tile(r, k);
-        double* pk = p.data() + col0 + k * m;
-        double* acc = opts.prefix
-                          ? prefix_acc[static_cast<std::size_t>(k)].data() + r * m
-                          : nullptr;
-        const i64 row0 = r * m;
-        const i64 sample0 = col0 + k * m;
-        rt.submit("qmc",
-                  {{factor.diag_handle(r), rt::Access::kRead},
-                   {A.handle(r, k), rt::Access::kRead},
-                   {B.handle(r, k), rt::Access::kRead},
-                   {Y.handle(r, k), rt::Access::kWrite},
-                   {p_handles[static_cast<std::size_t>(k)],
-                    rt::Access::kReadWrite}},
-                  [lrr, &pts, row0, sample0, at, bt, yt, pk, acc] {
-                    qmc_tile_kernel(lrr, pts, row0, sample0, at, bt, yt, pk,
-                                    acc);
-                  },
-                  /*priority=*/2);
-      }
-      for (i64 i = r + 1; i < mt; ++i) {
-        for (i64 k = 0; k < nc; ++k) {
-          la::ConstMatrixView yt = Y.tile(r, k);
-          la::MatrixView at = A.tile(i, k);
-          la::MatrixView bt = B.tile(i, k);
-          rt.submit("pmvn_update",
-                    {{factor.off_handle(i, r), rt::Access::kRead},
-                     {Y.handle(r, k), rt::Access::kRead},
-                     {A.handle(i, k), rt::Access::kReadWrite},
-                     {B.handle(i, k), rt::Access::kReadWrite}},
-                    [&factor, i, r, yt, at, bt] {
-                      factor.apply_update(i, r, yt, at, bt);
-                    },
-                    /*priority=*/1);
-        }
-      }
-    }
-    rt.wait_all();
-
-    if (opts.prefix) {
-      for (const auto& acc : prefix_acc)
-        for (i64 i = 0; i < n; ++i)
-          prefix_total[static_cast<std::size_t>(i)] +=
-              acc[static_cast<std::size_t>(i)];
-    }
-  }
-
-  // Shift-block means -> estimate + error.
-  std::vector<double> block_means(static_cast<std::size_t>(opts.shifts), 0.0);
-  for (i64 s = 0; s < num_samples; ++s)
-    block_means[static_cast<std::size_t>(pts.shift_of(s))] +=
-        p[static_cast<std::size_t>(s)];
-  for (double& mmean : block_means)
-    mmean /= static_cast<double>(opts.samples_per_shift);
-  const stats::BlockEstimate est = stats::combine_block_means(block_means);
-
+PmvnResult run_single(rt::Runtime& rt, engine::CholeskyFactor factor,
+                      std::span<const double> a, std::span<const double> b,
+                      const PmvnOptions& opts) {
+  const engine::PmvnEngine eng(
+      rt, std::make_shared<const engine::CholeskyFactor>(std::move(factor)),
+      engine_options(opts));
+  engine::QueryResult qr = eng.evaluate_one({a, b, opts.seed, opts.prefix});
   PmvnResult result;
-  result.prob = est.mean;
-  result.error3sigma = est.error3sigma;
-  if (opts.prefix) {
-    result.prefix_prob = std::move(prefix_total);
-    const double inv = 1.0 / static_cast<double>(num_samples);
-    for (double& v : result.prefix_prob) v *= inv;
-  }
-  result.seconds = timer.seconds();
+  result.prob = qr.prob;
+  result.error3sigma = qr.error3sigma;
+  result.seconds = qr.seconds;
+  result.prefix_prob = std::move(qr.prefix_prob);
   return result;
 }
 
@@ -213,13 +40,13 @@ PmvnResult pmvn_dense(rt::Runtime& rt, const tile::TileMatrix& l,
                       std::span<const double> a, std::span<const double> b,
                       const PmvnOptions& opts) {
   PARMVN_EXPECTS(l.layout() == tile::Layout::kLowerSymmetric);
-  return pmvn_impl(rt, DenseFactor{l}, a, b, opts);
+  return run_single(rt, engine::CholeskyFactor::borrow_dense(l), a, b, opts);
 }
 
 PmvnResult pmvn_tlr(rt::Runtime& rt, const tlr::TlrMatrix& l,
                     std::span<const double> a, std::span<const double> b,
                     const PmvnOptions& opts) {
-  return pmvn_impl(rt, TlrFactor{l}, a, b, opts);
+  return run_single(rt, engine::CholeskyFactor::borrow_tlr(l), a, b, opts);
 }
 
 }  // namespace parmvn::core

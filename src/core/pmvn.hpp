@@ -1,11 +1,12 @@
 // Parallel tile MVN probability — the paper's Algorithm 2 (PMVN).
 //
-// The limit matrices A, B (n x N), the conditioning matrix Y and the
-// per-sample probability products p are tiled with the Cholesky factor's
-// tile size; the sweep alternates QMC kernels on diagonal-row tiles with
-// GEMM propagation into the remaining rows, all expressed as runtime tasks
-// whose dependencies the runtime infers from per-tile data accesses —
-// exactly the red-boxed steps (b)/(c)/(d) of the paper.
+// Since the engine refactor these entry points are thin single-query
+// wrappers over engine::PmvnEngine: they borrow the caller's factored
+// matrix, evaluate a 1-element batch, and return the classic PmvnResult.
+// Multi-query workloads (many limit sets against one factor) should use
+// engine/pmvn_engine.hpp directly — the batched graph packs all queries
+// into shared wide column panels so the factorization, the per-tile GEMM
+// propagation and the off-diagonal tile reads amortize across queries.
 //
 // Both factor formats are supported:
 //  * dense tiled L (Chameleon-style potrf_tiled output),
@@ -21,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "engine/pmvn_engine.hpp"
 #include "runtime/runtime.hpp"
 #include "stats/qmc.hpp"
 #include "tile/tile_matrix.hpp"
@@ -61,5 +63,9 @@ struct PmvnResult {
                                   std::span<const double> a,
                                   std::span<const double> b,
                                   const PmvnOptions& opts = {});
+
+/// The engine-level view of `opts` (seed and prefix live per-LimitSet);
+/// the one translation point between the legacy options and the engine.
+[[nodiscard]] engine::EngineOptions engine_options(const PmvnOptions& opts);
 
 }  // namespace parmvn::core

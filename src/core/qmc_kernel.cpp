@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/contracts.hpp"
+#include "linalg/blas.hpp"
 #include "stats/normal.hpp"
 
 namespace parmvn::core {
@@ -33,8 +34,8 @@ void qmc_tile_kernel(la::ConstMatrixView l, const stats::PointSet& pts,
     double* __restrict yj = y.col(j);
     for (i64 i = 0; i < m; ++i) {
       const double* __restrict lrow = lt.view().col(i);
-      double s = 0.0;
-      for (i64 k = 0; k < i; ++k) s += lrow[k] * yj[k];
+      // SIMD triangular dot — the sweep's per-entry hot spot.
+      const double s = la::dot(i, lrow, yj);
       const double lii = lrow[i];
       const double ai = (a(i, j) - s) / lii;
       const double bi = (b(i, j) - s) / lii;

@@ -12,11 +12,6 @@ namespace parmvn::dist {
 
 namespace {
 
-// Flops-per-entry charged for one QMC integrand entry (uniform -> shifted
-// point, Phi, Phi^-1, product update). erfc/log dominate; ~60 flops is the
-// conventional equivalent.
-constexpr double kQmcFlopsPerEntry = 60.0;
-
 double rate(const MachineModel& m) noexcept {
   return std::max(m.gflops_per_core, 1e-9) * 1e9;
 }
@@ -127,6 +122,20 @@ HostCalibration calibrate_host(i64 n) {
     cal.qmc_ns_per_entry = elapsed * 1e9 / d(iters);
   }
   return cal;
+}
+
+MachineModel calibrated_machine(const HostCalibration& cal,
+                                const MachineModel& base) noexcept {
+  MachineModel m = base;
+  if (cal.gflops > 0.0) m.gflops_per_core = cal.gflops;
+  if (cal.gflops > 0.0 && cal.qmc_ns_per_entry > 0.0) {
+    // The integrand probe measures ns per entry; at kQmcFlopsPerEntry flops
+    // charged per entry that is an effective GFlop/s rate, and the sweep
+    // kernels run at that rate relative to dgemm.
+    const double qmc_gflops = kQmcFlopsPerEntry / cal.qmc_ns_per_entry;
+    m.stream_efficiency = std::clamp(qmc_gflops / cal.gflops, 1e-3, 1.0);
+  }
+  return m;
 }
 
 }  // namespace parmvn::dist

@@ -57,6 +57,12 @@ struct MachineModel {
 [[nodiscard]] double cost_pmvn_update_tlr(const MachineModel& m, i64 nb,
                                           i64 nc, i64 rank) noexcept;
 
+/// Flops-per-entry charged for one QMC integrand entry (uniform -> shifted
+/// point, Phi, Phi^-1, product update). erfc/log dominate; ~60 flops is the
+/// conventional equivalent. Shared by the cost model and the calibration
+/// inversion below.
+inline constexpr double kQmcFlopsPerEntry = 60.0;
+
 /// Micro-benchmarked host parameters, for pinning the simulator's
 /// MachineModel to the machine actually running the benches.
 struct HostCalibration {
@@ -66,5 +72,16 @@ struct HostCalibration {
 
 /// Probe this host with an n x n dgemm and a quantile/CDF loop.
 [[nodiscard]] HostCalibration calibrate_host(i64 n);
+
+/// MachineModel whose compute parameters come from calibrate_host() probes:
+/// gflops_per_core is the measured dgemm rate and stream_efficiency is the
+/// measured integrand rate (kQmcFlopsPerEntry / qmc_ns_per_entry, in
+/// GFlop/s) divided by the dgemm rate. Network parameters are taken from
+/// `base`, and a degenerate probe (non-positive readings) falls back to the
+/// corresponding analytic `base` value — by default Cray XC40's documented
+/// stream_efficiency = 0.25.
+[[nodiscard]] MachineModel calibrated_machine(
+    const HostCalibration& cal,
+    const MachineModel& base = MachineModel::cray_xc40()) noexcept;
 
 }  // namespace parmvn::dist

@@ -1,0 +1,163 @@
+#include "engine/cholesky_factor.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "common/timer.hpp"
+#include "geo/covgen.hpp"
+#include "linalg/blas.hpp"
+#include "tile/tiled_potrf.hpp"
+#include "tlr/lr_tile.hpp"
+#include "tlr/tlr_potrf.hpp"
+
+namespace parmvn::engine {
+
+namespace {
+
+// Non-owning shared_ptr: the aliasing constructor with an empty owner leaves
+// the control block null, so no deleter ever runs.
+template <class T>
+std::shared_ptr<const T> borrow(const T& ref) {
+  return std::shared_ptr<const T>(std::shared_ptr<const T>{}, &ref);
+}
+
+}  // namespace
+
+std::vector<double> standard_deviations(const la::MatrixGenerator& cov) {
+  const i64 n = cov.rows();
+  std::vector<double> sd(static_cast<std::size_t>(n));
+  for (i64 i = 0; i < n; ++i) {
+    const double var = cov.entry(i, i);
+    PARMVN_EXPECTS(var > 0.0);
+    sd[static_cast<std::size_t>(i)] = std::sqrt(var);
+  }
+  return sd;
+}
+
+CholeskyFactor CholeskyFactor::factor(rt::Runtime& rt,
+                                      const la::MatrixGenerator& gen,
+                                      const FactorSpec& spec) {
+  PARMVN_EXPECTS(gen.rows() == gen.cols());
+  PARMVN_EXPECTS(spec.tile >= 1);
+  const i64 n = gen.rows();
+
+  CholeskyFactor f;
+  f.kind_ = spec.kind;
+  const WallTimer timer;
+  if (spec.kind == FactorKind::kDense) {
+    tile::TileMatrix l(rt, n, n, spec.tile, tile::Layout::kLowerSymmetric,
+                       "Sigma");
+    l.generate_async(rt, gen);
+    rt.wait_all();
+    tile::potrf_tiled(rt, l);
+    f.dense_ = std::make_shared<const tile::TileMatrix>(std::move(l));
+  } else {
+    tlr::TlrMatrix l = tlr::TlrMatrix::compress(rt, gen, spec.tile,
+                                                spec.tlr_tol,
+                                                spec.tlr_max_rank);
+    tlr::potrf_tlr(rt, l);
+    f.tlr_ = std::make_shared<const tlr::TlrMatrix>(std::move(l));
+  }
+  f.factor_seconds_ = timer.seconds();
+  return f;
+}
+
+CholeskyFactor CholeskyFactor::factor_ordered(rt::Runtime& rt,
+                                              const la::MatrixGenerator& cov,
+                                              std::vector<i64> order,
+                                              const FactorSpec& spec,
+                                              std::span<const double> sd) {
+  const i64 n = cov.rows();
+  PARMVN_EXPECTS(cov.cols() == n);
+  PARMVN_EXPECTS(static_cast<i64>(order.size()) == n);
+  PARMVN_EXPECTS(sd.empty() || static_cast<i64>(sd.size()) == n);
+
+  const geo::CorrelationGenerator corr(cov);
+  const geo::PermutedGenerator permuted(corr, order);
+  CholeskyFactor f = factor(rt, permuted, spec);
+
+  f.order_ = std::move(order);
+  if (sd.empty()) {
+    f.sd_ = standard_deviations(cov);
+  } else {
+    f.sd_.assign(sd.begin(), sd.end());
+  }
+  return f;
+}
+
+CholeskyFactor CholeskyFactor::borrow_dense(const tile::TileMatrix& l) {
+  PARMVN_EXPECTS(l.layout() == tile::Layout::kLowerSymmetric);
+  CholeskyFactor f;
+  f.kind_ = FactorKind::kDense;
+  f.dense_ = borrow(l);
+  return f;
+}
+
+CholeskyFactor CholeskyFactor::borrow_tlr(const tlr::TlrMatrix& l) {
+  CholeskyFactor f;
+  f.kind_ = FactorKind::kTlr;
+  f.tlr_ = borrow(l);
+  return f;
+}
+
+i64 CholeskyFactor::dim() const noexcept {
+  return kind_ == FactorKind::kDense ? dense_->rows() : tlr_->dim();
+}
+
+i64 CholeskyFactor::tile_size() const noexcept {
+  return kind_ == FactorKind::kDense ? dense_->tile_size() : tlr_->tile_size();
+}
+
+i64 CholeskyFactor::row_tiles() const noexcept {
+  return kind_ == FactorKind::kDense ? dense_->row_tiles() : tlr_->num_tiles();
+}
+
+i64 CholeskyFactor::tile_rows(i64 r) const noexcept {
+  return kind_ == FactorKind::kDense ? dense_->tile_rows(r)
+                                     : tlr_->tile_rows(r);
+}
+
+la::ConstMatrixView CholeskyFactor::diag_view(i64 r) const {
+  return kind_ == FactorKind::kDense ? dense_->tile(r, r) : tlr_->diag(r);
+}
+
+rt::DataHandle CholeskyFactor::diag_handle(i64 r) const {
+  return kind_ == FactorKind::kDense ? dense_->handle(r, r)
+                                     : tlr_->diag_handle(r);
+}
+
+rt::DataHandle CholeskyFactor::off_handle(i64 i, i64 r) const {
+  return kind_ == FactorKind::kDense ? dense_->handle(i, r)
+                                     : tlr_->lr_handle(i, r);
+}
+
+void CholeskyFactor::apply_update(i64 i, i64 r, la::ConstMatrixView y,
+                                  la::MatrixView a, la::MatrixView b) const {
+  if (kind_ == FactorKind::kDense) {
+    la::ConstMatrixView lir = dense_->tile(i, r);
+    la::gemm(la::Trans::kNo, la::Trans::kNo, -1.0, lir, y, 1.0, a);
+    la::gemm(la::Trans::kNo, la::Trans::kNo, -1.0, lir, y, 1.0, b);
+  } else {
+    const tlr::LowRankTile& t = tlr_->lr(i, r);
+    la::Matrix tmp(t.rank(), y.cols);
+    la::gemm(la::Trans::kYes, la::Trans::kNo, 1.0, t.v.view(), y, 0.0,
+             tmp.view());
+    la::gemm(la::Trans::kNo, la::Trans::kNo, -1.0, t.u.view(), tmp.view(), 1.0,
+             a);
+    la::gemm(la::Trans::kNo, la::Trans::kNo, -1.0, t.u.view(), tmp.view(), 1.0,
+             b);
+  }
+}
+
+const tile::TileMatrix& CholeskyFactor::dense() const {
+  PARMVN_EXPECTS(kind_ == FactorKind::kDense);
+  return *dense_;
+}
+
+const tlr::TlrMatrix& CholeskyFactor::tlr() const {
+  PARMVN_EXPECTS(kind_ == FactorKind::kTlr);
+  return *tlr_;
+}
+
+}  // namespace parmvn::engine

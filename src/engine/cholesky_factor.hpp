@@ -1,0 +1,124 @@
+// Owning Cholesky-factor abstraction — the "factor once" half of the
+// factor-once / evaluate-many engine.
+//
+// The PMVN sweep (Algorithm 2) only ever touches a factor through four
+// operations: read a diagonal tile, name a diagonal/off-diagonal tile for
+// dependency tracking, and apply one off-diagonal propagation update into a
+// sample panel. CholeskyFactor packages both factor formats (dense tiled and
+// TLR) behind those operations, owns the factored matrix (so it can outlive
+// the stack frame that produced it — a prerequisite for caching), and
+// carries the ordering/standardisation metadata the confidence-region
+// detector previously recomputed on every call.
+//
+// A factor is bound to the rt::Runtime that registered its tile handles:
+// using it with a different runtime is undefined (the FactorCache keys on
+// the runtime uid and never serves cross-runtime hits).
+//
+// Known trade-off: a factor's tile handle slots are NOT released back to
+// the runtime when the factor dies. Factors are shared_ptr-shared and may
+// outlive the runtime that built them (dead cache entries), so a destructor
+// release could dangle; and per factor the retained slots are KBs against
+// the MBs of matrix data actually freed. A leased-handle design that makes
+// release safe under shared ownership is a ROADMAP item. The engine's
+// per-round panel handles — the high-frequency case — ARE released.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "linalg/generator.hpp"
+#include "linalg/matrix.hpp"
+#include "runtime/runtime.hpp"
+#include "tile/tile_matrix.hpp"
+#include "tlr/tlr_matrix.hpp"
+
+namespace parmvn::engine {
+
+enum class FactorKind { kDense, kTlr };
+
+/// sqrt of the diagonal of `cov` (throws unless strictly positive) — the
+/// standardisation vector shared by factor_ordered's metadata and the
+/// confidence-region marginal computation.
+[[nodiscard]] std::vector<double> standard_deviations(
+    const la::MatrixGenerator& cov);
+
+/// How to build a factor: arithmetic format, tile size, TLR accuracy knobs.
+struct FactorSpec {
+  FactorKind kind = FactorKind::kDense;
+  i64 tile = 256;
+  double tlr_tol = 1e-3;  // TLR compression accuracy (ignored for dense)
+  i64 tlr_max_rank = -1;  // TLR rank cap, < 0 = uncapped (ignored for dense)
+};
+
+class CholeskyFactor {
+ public:
+  /// Generate and factor the SPD matrix `gen` describes, as-is (no
+  /// standardisation or reordering). Blocks until the factorization is done.
+  [[nodiscard]] static CholeskyFactor factor(rt::Runtime& rt,
+                                             const la::MatrixGenerator& gen,
+                                             const FactorSpec& spec);
+
+  /// Standardise `cov` to a correlation matrix, permute rows/columns by
+  /// `order`, then generate and factor. Records `order` and the per-location
+  /// standard deviations (original indexing) as metadata, so cache clients
+  /// can map limits into the factor's ordered, standardised space without
+  /// touching the generator again. Pass `sd` (sqrt of the covariance
+  /// diagonal) when the caller has already computed it — e.g. for the
+  /// marginal ordering — to skip the diagonal sweep; empty means compute.
+  [[nodiscard]] static CholeskyFactor factor_ordered(
+      rt::Runtime& rt, const la::MatrixGenerator& cov, std::vector<i64> order,
+      const FactorSpec& spec, std::span<const double> sd = {});
+
+  /// Non-owning wrappers around an existing factored matrix (the caller
+  /// keeps it alive). Used by the single-query core::pmvn_* entry points.
+  [[nodiscard]] static CholeskyFactor borrow_dense(const tile::TileMatrix& l);
+  [[nodiscard]] static CholeskyFactor borrow_tlr(const tlr::TlrMatrix& l);
+
+  [[nodiscard]] FactorKind kind() const noexcept { return kind_; }
+  [[nodiscard]] i64 dim() const noexcept;
+  [[nodiscard]] i64 tile_size() const noexcept;
+  [[nodiscard]] i64 row_tiles() const noexcept;
+  [[nodiscard]] i64 tile_rows(i64 r) const noexcept;
+
+  /// Wall-clock seconds spent generating + factoring (0 for borrowed).
+  [[nodiscard]] double factor_seconds() const noexcept {
+    return factor_seconds_;
+  }
+
+  /// Ordering metadata from factor_ordered(); empty for other constructors.
+  [[nodiscard]] const std::vector<i64>& order() const noexcept {
+    return order_;
+  }
+  /// sqrt(cov_ii) per original location from factor_ordered(); empty
+  /// otherwise.
+  [[nodiscard]] const std::vector<double>& sd() const noexcept { return sd_; }
+
+  // ---- sweep interface (what the PMVN task graph consumes) ----
+  [[nodiscard]] la::ConstMatrixView diag_view(i64 r) const;
+  [[nodiscard]] rt::DataHandle diag_handle(i64 r) const;
+  [[nodiscard]] rt::DataHandle off_handle(i64 i, i64 r) const;
+
+  /// A -= L_ir * Y, B -= L_ir * Y over (possibly wide, multi-query) column
+  /// panels. TLR applies the low-rank form U (V^T Y), computing the inner
+  /// product once for both targets.
+  void apply_update(i64 i, i64 r, la::ConstMatrixView y, la::MatrixView a,
+                    la::MatrixView b) const;
+
+  /// The dense tiled factor (throws unless kind() == kDense); for clients
+  /// that need direct tile access (e.g. MC validation).
+  [[nodiscard]] const tile::TileMatrix& dense() const;
+  [[nodiscard]] const tlr::TlrMatrix& tlr() const;
+
+ private:
+  CholeskyFactor() = default;
+
+  FactorKind kind_ = FactorKind::kDense;
+  std::shared_ptr<const tile::TileMatrix> dense_;
+  std::shared_ptr<const tlr::TlrMatrix> tlr_;
+  std::vector<i64> order_;
+  std::vector<double> sd_;
+  double factor_seconds_ = 0.0;
+};
+
+}  // namespace parmvn::engine

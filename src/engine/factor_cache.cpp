@@ -1,0 +1,99 @@
+#include "engine/factor_cache.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "common/hash.hpp"
+
+namespace parmvn::engine {
+
+namespace {
+
+// FNV-1a over the ordering permutation: cheap key material; exactness is
+// guaranteed separately by the element-wise comparison on hit.
+u64 hash_order(const std::vector<i64>& order) {
+  u64 h = kFnv1aOffset;
+  for (const i64 v : order) h = fnv1a_append(h, &v, sizeof(v));
+  return h;
+}
+
+// The runtime uid is part of the key (not just verified on hit) so two live
+// runtimes sharing one cache each keep their own entry instead of evicting
+// each other's on every alternating lookup.
+std::string make_key(const std::string& gen_key, u64 runtime_uid,
+                     const std::vector<i64>& order, const FactorSpec& spec) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "|rt=%" PRIu64 "|k=%d|tile=%" PRId64 "|tol=%.17g|cap=%" PRId64
+                "|ord=%zu:%016" PRIx64,
+                runtime_uid, static_cast<int>(spec.kind), spec.tile,
+                spec.kind == FactorKind::kTlr ? spec.tlr_tol : 0.0,
+                spec.kind == FactorKind::kTlr ? spec.tlr_max_rank : i64{-1},
+                order.size(), hash_order(order));
+  return gen_key + buf;
+}
+
+}  // namespace
+
+FactorCache::FactorCache(std::size_t capacity) : capacity_(capacity) {
+  PARMVN_EXPECTS(capacity >= 1);
+}
+
+std::shared_ptr<const CholeskyFactor> FactorCache::get_or_factor(
+    rt::Runtime& rt, const la::MatrixGenerator& cov, std::vector<i64> order,
+    const FactorSpec& spec, std::span<const double> sd) {
+  // Entries of destroyed runtimes can never be hit again (uids are not
+  // reused); drop them so they stop pinning factor memory and capacity.
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (rt::Runtime::uid_alive(it->runtime_uid)) {
+      ++it;
+    } else {
+      index_.erase(it->key);
+      it = lru_.erase(it);
+      ++stats_.evictions;
+    }
+  }
+
+  const std::string gen_key = cov.cache_key();
+  if (gen_key.empty()) {
+    // Generator opted out of caching: factor every time.
+    ++stats_.misses;
+    return std::make_shared<const CholeskyFactor>(
+        CholeskyFactor::factor_ordered(rt, cov, std::move(order), spec, sd));
+  }
+
+  const std::string key = make_key(gen_key, rt.uid(), order, spec);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    Entry& entry = *it->second;
+    if (entry.order == order) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+      return entry.factor;
+    }
+    // Same key but a different permutation (hash collision): the entry
+    // cannot be served — drop and refactor.
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+
+  ++stats_.misses;
+  auto factor = std::make_shared<const CholeskyFactor>(
+      CholeskyFactor::factor_ordered(rt, cov, order, spec, sd));
+  lru_.push_front(Entry{key, std::move(order), rt.uid(), factor});
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  return factor;
+}
+
+void FactorCache::clear() {
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace parmvn::engine

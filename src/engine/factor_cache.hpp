@@ -1,0 +1,71 @@
+// LRU cache of CholeskyFactors for repeated confidence-region serving.
+//
+// A factor is keyed by (generator identity, ordering permutation, tile
+// size, factor kind, TLR accuracy knobs). Generator identity comes from
+// la::MatrixGenerator::cache_key(); a generator that returns an empty key
+// opts out of caching, in which case get_or_factor() degrades to a plain
+// factorization (counted as a miss, never stored). The stored ordering is
+// compared element-wise on lookup, so hash collisions can never serve a
+// factor for the wrong permutation.
+//
+// Entries are additionally keyed by the factoring runtime's process-unique
+// uid (rt::Runtime::uid(), never an address and never reused): a destroyed-
+// and-recreated runtime can never be served a stale factor, and two live
+// runtimes sharing one cache hold independent entries instead of evicting
+// each other. Entries whose runtime has since been destroyed are
+// unreachable forever (uids are not reused), so every lookup first purges
+// them — they must not pin factor memory or cache capacity.
+//
+// Not thread-safe: serve one request at a time, or shard one cache per
+// serving thread.
+#pragma once
+
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/cholesky_factor.hpp"
+
+namespace parmvn::engine {
+
+struct FactorCacheStats {
+  i64 hits = 0;
+  i64 misses = 0;
+  i64 evictions = 0;
+};
+
+class FactorCache {
+ public:
+  explicit FactorCache(std::size_t capacity = 4);
+
+  /// Return the cached factor for (cov, order, spec), factoring (and
+  /// caching) on a miss. `order` and the optional precomputed `sd` match
+  /// CholeskyFactor::factor_ordered.
+  [[nodiscard]] std::shared_ptr<const CholeskyFactor> get_or_factor(
+      rt::Runtime& rt, const la::MatrixGenerator& cov, std::vector<i64> order,
+      const FactorSpec& spec, std::span<const double> sd = {});
+
+  [[nodiscard]] const FactorCacheStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return lru_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  void clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    std::vector<i64> order;  // verified element-wise on every hit
+    u64 runtime_uid;         // for purging entries of destroyed runtimes
+    std::shared_ptr<const CholeskyFactor> factor;
+  };
+
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  FactorCacheStats stats_;
+};
+
+}  // namespace parmvn::engine

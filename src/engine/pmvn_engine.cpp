@@ -1,0 +1,280 @@
+#include "engine/pmvn_engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "common/timer.hpp"
+#include "core/qmc_kernel.hpp"
+#include "linalg/matrix.hpp"
+
+namespace parmvn::engine {
+
+namespace {
+
+// One column tile of the fused batch panel: a tile-width slice of one
+// query's samples. Column tiles never straddle queries — that alignment is
+// what makes batched arithmetic bitwise identical to single-query runs.
+struct ColTile {
+  i64 query = 0;    // index into the batch
+  i64 sample0 = 0;  // global sample offset within that query's stream
+  i64 col0 = 0;     // column offset inside the wide panel
+  i64 width = 0;
+};
+
+}  // namespace
+
+PmvnEngine::PmvnEngine(rt::Runtime& rt,
+                       std::shared_ptr<const CholeskyFactor> factor,
+                       EngineOptions opts)
+    : rt_(rt), factor_(std::move(factor)), opts_(opts) {
+  PARMVN_EXPECTS(factor_ != nullptr);
+  PARMVN_EXPECTS(opts_.samples_per_shift >= 1 && opts_.shifts >= 1);
+}
+
+QueryResult PmvnEngine::evaluate_one(const LimitSet& query) const {
+  std::vector<QueryResult> results = evaluate({&query, 1});
+  return std::move(results.front());
+}
+
+std::vector<QueryResult> PmvnEngine::evaluate(
+    std::span<const LimitSet> queries) const {
+  const WallTimer timer;
+  const CholeskyFactor& f = *factor_;
+  const i64 n = f.dim();
+  const i64 m = f.tile_size();
+  const i64 mt = f.row_tiles();
+  const i64 nq = static_cast<i64>(queries.size());
+  if (nq == 0) return {};
+  for (const LimitSet& q : queries) {
+    PARMVN_EXPECTS(static_cast<i64>(q.a.size()) == n);
+    PARMVN_EXPECTS(static_cast<i64>(q.b.size()) == n);
+  }
+  const i64 num_samples = opts_.total_samples();
+
+  // One deterministic point set per query, keyed by the query's seed.
+  std::vector<stats::PointSet> pts;
+  pts.reserve(static_cast<std::size_t>(nq));
+  for (const LimitSet& q : queries)
+    pts.emplace_back(opts_.sampler, n, opts_.samples_per_shift, opts_.shifts,
+                     q.seed);
+
+  // Per-query panel width: the batch shares the panel budget (3 matrices of
+  // n rows, 8 bytes each), floored at one tile width per query and rounded
+  // to a tile multiple. For a 1-element batch this reproduces the
+  // single-query decomposition exactly; panelling is exact regardless
+  // (sample columns are independent chains, and column-tile boundaries fall
+  // at tile multiples for every panel width).
+  i64 panel_cols = opts_.panel_bytes / (3 * 8 * n * nq);
+  panel_cols = std::max(panel_cols, m);
+  panel_cols = (panel_cols / m) * m;
+
+  std::vector<std::vector<double>> p(static_cast<std::size_t>(nq));
+  for (auto& pq : p) pq.assign(static_cast<std::size_t>(num_samples), 1.0);
+  std::vector<std::vector<double>> prefix_total(static_cast<std::size_t>(nq));
+  for (i64 q = 0; q < nq; ++q)
+    if (queries[static_cast<std::size_t>(q)].prefix)
+      prefix_total[static_cast<std::size_t>(q)].assign(
+          static_cast<std::size_t>(n), 0.0);
+
+  std::vector<rt::DataAccess> wide_accesses;  // reused across submits
+
+  for (i64 round0 = 0; round0 < num_samples; round0 += panel_cols) {
+    const i64 pc = std::min(panel_cols, num_samples - round0);
+
+    // Column-tile map for this round: every query contributes the same
+    // sample range [round0, round0 + pc), sliced into tile-width columns.
+    std::vector<ColTile> tiles;
+    i64 width = 0;
+    for (i64 q = 0; q < nq; ++q) {
+      for (i64 c = 0; c < pc; c += m) {
+        const i64 w = std::min(m, pc - c);
+        tiles.push_back({q, round0 + c, width, w});
+        width += w;
+      }
+    }
+    const i64 nct = static_cast<i64>(tiles.size());
+
+    // Shared wide panels: one (tile_rows(r) x width) matrix per tile row for
+    // each of A, B, Y. A/B/Y of one (row, column-tile) are always touched
+    // together, so they share a single dependency handle.
+    std::vector<la::Matrix> A, B, Y;
+    A.reserve(static_cast<std::size_t>(mt));
+    B.reserve(static_cast<std::size_t>(mt));
+    Y.reserve(static_cast<std::size_t>(mt));
+    for (i64 r = 0; r < mt; ++r) {
+      const i64 mr = f.tile_rows(r);
+      A.emplace_back(mr, width);
+      B.emplace_back(mr, width);
+      Y.emplace_back(mr, width);
+    }
+    std::vector<std::vector<double>> prefix_acc(
+        static_cast<std::size_t>(nct));
+    for (i64 t = 0; t < nct; ++t)
+      if (queries[static_cast<std::size_t>(tiles[static_cast<std::size_t>(t)]
+                                               .query)]
+              .prefix)
+        prefix_acc[static_cast<std::size_t>(t)].assign(
+            static_cast<std::size_t>(n), 0.0);
+
+    // Handles are registered last, after every allocation that could throw:
+    // from here to the try block below nothing can exit the round without
+    // reaching release_round.
+    std::vector<rt::DataHandle> panel_handles(
+        static_cast<std::size_t>(mt * nct));
+    for (auto& h : panel_handles) h = rt_.register_data();
+    const auto handle = [&](i64 r, i64 t) {
+      return panel_handles[static_cast<std::size_t>(r * nct + t)];
+    };
+    // Per-column-tile probability products (and prefix accumulators) are
+    // written by every tile row's QMC task; their own handle keeps that
+    // chain explicit even though the A/B/Y data flow already orders it.
+    std::vector<rt::DataHandle> p_handles(static_cast<std::size_t>(nct));
+    for (auto& h : p_handles) h = rt_.register_data();
+
+    // The round's panel/p handles must go back to the runtime on every exit
+    // path (a long-lived serving runtime's handle table stays bounded), and
+    // may only be released once the epoch has drained — wait_all() drains
+    // before rethrowing a task error, and the catch below drains first when
+    // a submit itself throws (e.g. handle validation) with earlier tasks
+    // still in flight.
+    const auto release_round = [&] {
+      for (const rt::DataHandle h : panel_handles) rt_.release_data(h);
+      for (const rt::DataHandle h : p_handles) rt_.release_data(h);
+    };
+    try {
+      // Initialise A/B with the replicated per-query limit vectors (lines 2-3
+      // of Algorithm 2), one task per (tile row, column tile).
+      for (i64 r = 0; r < mt; ++r) {
+        const i64 mr = f.tile_rows(r);
+        const i64 row0 = r * m;
+        for (i64 t = 0; t < nct; ++t) {
+          const ColTile& ct = tiles[static_cast<std::size_t>(t)];
+          la::MatrixView at = A[static_cast<std::size_t>(r)].sub(0, ct.col0, mr,
+                                                                 ct.width);
+          la::MatrixView bt = B[static_cast<std::size_t>(r)].sub(0, ct.col0, mr,
+                                                                 ct.width);
+          const LimitSet& q = queries[static_cast<std::size_t>(ct.query)];
+          const std::span<const double> qa = q.a;
+          const std::span<const double> qb = q.b;
+          rt_.submit("pmvn_init", {{handle(r, t), rt::Access::kWrite}},
+                     [at, bt, row0, qa, qb] {
+                       for (i64 j = 0; j < at.cols; ++j)
+                         for (i64 i = 0; i < at.rows; ++i) {
+                           at(i, j) = qa[static_cast<std::size_t>(row0 + i)];
+                           bt(i, j) = qb[static_cast<std::size_t>(row0 + i)];
+                         }
+                     });
+        }
+      }
+
+      // The sweep: QMC on tile row r per column tile, then one wide
+      // propagation GEMM per (i, r) pair spanning the whole batch.
+      for (i64 r = 0; r < mt; ++r) {
+        const i64 mr = f.tile_rows(r);
+        const i64 row0 = r * m;
+        la::ConstMatrixView lrr = f.diag_view(r);
+        for (i64 t = 0; t < nct; ++t) {
+          const ColTile& ct = tiles[static_cast<std::size_t>(t)];
+          la::ConstMatrixView at = A[static_cast<std::size_t>(r)].sub(
+              0, ct.col0, mr, ct.width);
+          la::ConstMatrixView bt = B[static_cast<std::size_t>(r)].sub(
+              0, ct.col0, mr, ct.width);
+          la::MatrixView yt = Y[static_cast<std::size_t>(r)].sub(0, ct.col0, mr,
+                                                                 ct.width);
+          const stats::PointSet* ps = &pts[static_cast<std::size_t>(ct.query)];
+          double* pk = p[static_cast<std::size_t>(ct.query)].data() + ct.sample0;
+          double* acc = prefix_acc[static_cast<std::size_t>(t)].empty()
+                            ? nullptr
+                            : prefix_acc[static_cast<std::size_t>(t)].data() +
+                                  row0;
+          const i64 sample0 = ct.sample0;
+          rt_.submit("qmc",
+                     {{f.diag_handle(r), rt::Access::kRead},
+                      {handle(r, t), rt::Access::kReadWrite},
+                      {p_handles[static_cast<std::size_t>(t)],
+                       rt::Access::kReadWrite}},
+                     [lrr, ps, row0, sample0, at, bt, yt, pk, acc] {
+                       core::qmc_tile_kernel(lrr, *ps, row0, sample0, at, bt, yt,
+                                             pk, acc);
+                     },
+                     /*priority=*/2);
+        }
+        for (i64 i = r + 1; i < mt; ++i) {
+          const i64 mi = f.tile_rows(i);
+          la::ConstMatrixView yw = Y[static_cast<std::size_t>(r)].sub(0, 0, mr,
+                                                                      width);
+          la::MatrixView aw = A[static_cast<std::size_t>(i)].sub(0, 0, mi,
+                                                                 width);
+          la::MatrixView bw = B[static_cast<std::size_t>(i)].sub(0, 0, mi,
+                                                                 width);
+          wide_accesses.clear();
+          wide_accesses.push_back({f.off_handle(i, r), rt::Access::kRead});
+          for (i64 t = 0; t < nct; ++t) {
+            wide_accesses.push_back({handle(r, t), rt::Access::kRead});
+            wide_accesses.push_back({handle(i, t), rt::Access::kReadWrite});
+          }
+          const CholeskyFactor* fp = factor_.get();
+          rt_.submit("pmvn_update", wide_accesses,
+                     [fp, i, r, yw, aw, bw] {
+                       fp->apply_update(i, r, yw, aw, bw);
+                     },
+                     /*priority=*/1);
+        }
+      }
+      rt_.wait_all();
+    } catch (...) {
+      // Drain whatever was already submitted (swallowing any secondary task
+      // error — the original exception is what propagates), then release.
+      try {
+        rt_.wait_all();
+      } catch (...) {  // NOLINT(bugprone-empty-catch)
+      }
+      release_round();
+      throw;
+    }
+
+    // Fold this round's prefix sums into the per-query totals, in ascending
+    // column-tile (== ascending sample) order so the accumulation order is
+    // independent of the panelling.
+    for (i64 t = 0; t < nct; ++t) {
+      const std::vector<double>& acc = prefix_acc[static_cast<std::size_t>(t)];
+      if (acc.empty()) continue;
+      std::vector<double>& total =
+          prefix_total[static_cast<std::size_t>(
+              tiles[static_cast<std::size_t>(t)].query)];
+      for (i64 i = 0; i < n; ++i)
+        total[static_cast<std::size_t>(i)] += acc[static_cast<std::size_t>(i)];
+    }
+    release_round();
+  }
+
+  // Per-query shift-block means -> estimate + error.
+  std::vector<QueryResult> results(static_cast<std::size_t>(nq));
+  const double batch_seconds = timer.seconds();
+  for (i64 q = 0; q < nq; ++q) {
+    const std::vector<double>& pq = p[static_cast<std::size_t>(q)];
+    std::vector<double> block_means(static_cast<std::size_t>(opts_.shifts),
+                                    0.0);
+    for (i64 s = 0; s < num_samples; ++s)
+      block_means[static_cast<std::size_t>(
+          pts[static_cast<std::size_t>(q)].shift_of(s))] +=
+          pq[static_cast<std::size_t>(s)];
+    for (double& mean : block_means)
+      mean /= static_cast<double>(opts_.samples_per_shift);
+    const stats::BlockEstimate est = stats::combine_block_means(block_means);
+
+    QueryResult& res = results[static_cast<std::size_t>(q)];
+    res.prob = est.mean;
+    res.error3sigma = est.error3sigma;
+    res.seconds = batch_seconds;
+    if (queries[static_cast<std::size_t>(q)].prefix) {
+      res.prefix_prob = std::move(prefix_total[static_cast<std::size_t>(q)]);
+      const double inv = 1.0 / static_cast<double>(num_samples);
+      for (double& v : res.prefix_prob) v *= inv;
+    }
+  }
+  return results;
+}
+
+}  // namespace parmvn::engine

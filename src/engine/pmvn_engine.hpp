@@ -1,0 +1,88 @@
+// Batched PMVN engine — the "evaluate many" half of factor-once /
+// evaluate-many.
+//
+// A PmvnEngine holds one CholeskyFactor and evaluates a batch of limit sets
+// (queries) against it in a single fused task graph: the sample panels of
+// all queries are packed side by side into shared wide column panels, so
+// each propagation step is one GEMM over the whole batch — every
+// off-diagonal factor tile is read once per (tile-row pair, panel round)
+// instead of once per query — and the QMC kernels of different queries run
+// as independent tasks that fill the worker pool even when a single query's
+// diagonal chain would leave it idle.
+//
+// Two contracts, enforced by tests/test_determinism.cpp:
+//  * schedule independence: results are bitwise identical across worker
+//    counts (all arithmetic happens in tasks with fixed reduction orders,
+//    sequenced by the runtime's sequential-consistency dependency rules);
+//  * batch transparency: each query's result is bitwise identical to
+//    evaluating that query alone with the same seed. This holds because
+//    sample columns are independent chains, column tiles never straddle
+//    queries, and the microkernel's per-column arithmetic does not depend on
+//    panel width or column position.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "engine/cholesky_factor.hpp"
+#include "stats/qmc.hpp"
+
+namespace parmvn::engine {
+
+/// Batch-level integration parameters (shared by every query in a batch).
+struct EngineOptions {
+  i64 samples_per_shift = 1000;
+  int shifts = 10;
+  stats::SamplerKind sampler = stats::SamplerKind::kPseudoMC;
+  /// Memory budget for the batch's A/B/Y panels, shared across all queries;
+  /// floored at one tile-width of columns per query.
+  i64 panel_bytes = i64{512} << 20;
+
+  [[nodiscard]] i64 total_samples() const noexcept {
+    return samples_per_shift * static_cast<i64>(shifts);
+  }
+};
+
+/// One query: integration limits in the factor's (ordered, standardised)
+/// space, plus the per-query sample-stream seed.
+struct LimitSet {
+  std::span<const double> a;
+  std::span<const double> b;
+  u64 seed = 42;
+  bool prefix = false;  // also accumulate all prefix probabilities
+};
+
+struct QueryResult {
+  double prob = 0.0;
+  double error3sigma = 0.0;
+  double seconds = 0.0;  // wall time of the whole batch (same for each query)
+  std::vector<double> prefix_prob;  // filled when LimitSet::prefix
+};
+
+class PmvnEngine {
+ public:
+  /// The factor must have been built with (and stay bound to) `rt`.
+  PmvnEngine(rt::Runtime& rt, std::shared_ptr<const CholeskyFactor> factor,
+             EngineOptions opts = {});
+
+  /// Evaluate every query in one fused task graph. Results are positionally
+  /// matched to `queries`.
+  [[nodiscard]] std::vector<QueryResult> evaluate(
+      std::span<const LimitSet> queries) const;
+
+  /// Single-query convenience (a 1-element batch).
+  [[nodiscard]] QueryResult evaluate_one(const LimitSet& query) const;
+
+  [[nodiscard]] const CholeskyFactor& factor() const noexcept {
+    return *factor_;
+  }
+  [[nodiscard]] const EngineOptions& options() const noexcept { return opts_; }
+
+ private:
+  rt::Runtime& rt_;
+  std::shared_ptr<const CholeskyFactor> factor_;
+  EngineOptions opts_;
+};
+
+}  // namespace parmvn::engine

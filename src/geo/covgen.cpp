@@ -1,8 +1,11 @@
 #include "geo/covgen.hpp"
 
+#include <cinttypes>
 #include <cmath>
+#include <cstdio>
 
 #include "common/contracts.hpp"
+#include "common/hash.hpp"
 
 namespace parmvn::geo {
 
@@ -25,6 +28,28 @@ double KernelCovGenerator::entry(i64 i, i64 j) const {
   return v;
 }
 
+std::string KernelCovGenerator::cache_key() const {
+  const std::string kernel_key = kernel_->cache_key();
+  if (kernel_key.empty()) return {};
+  // 128-bit content hash of the coordinates (two independently seeded
+  // streams): the cache never re-verifies generator contents on a hit, so
+  // the key alone must make serving a factor for the wrong location set
+  // astronomically unlikely.
+  u64 h1 = kFnv1aOffset;
+  u64 h2 = kFnv1aOffset2;
+  for (const Point& pt : locations_) {
+    h1 = fnv1a_append(h1, &pt.x, sizeof(pt.x));
+    h1 = fnv1a_append(h1, &pt.y, sizeof(pt.y));
+    h2 = fnv1a_append(h2, &pt.x, sizeof(pt.x));
+    h2 = fnv1a_append(h2, &pt.y, sizeof(pt.y));
+  }
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "|nug=%.17g|locs=%zu:%016" PRIx64 "%016" PRIx64, nugget_,
+                locations_.size(), h1, h2);
+  return "kernelcov|" + kernel_key + buf;
+}
+
 PermutedGenerator::PermutedGenerator(const la::MatrixGenerator& base,
                                      std::vector<i64> perm)
     : base_(base), perm_(std::move(perm)) {
@@ -36,6 +61,21 @@ PermutedGenerator::PermutedGenerator(const la::MatrixGenerator& base,
 double PermutedGenerator::entry(i64 i, i64 j) const {
   return base_.entry(perm_[static_cast<std::size_t>(i)],
                      perm_[static_cast<std::size_t>(j)]);
+}
+
+std::string PermutedGenerator::cache_key() const {
+  const std::string base_key = base_.cache_key();
+  if (base_key.empty()) return {};
+  u64 h1 = kFnv1aOffset;
+  u64 h2 = kFnv1aOffset2;
+  for (const i64 p : perm_) {
+    h1 = fnv1a_append(h1, &p, sizeof(p));
+    h2 = fnv1a_append(h2, &p, sizeof(p));
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "|perm=%zu:%016" PRIx64 "%016" PRIx64,
+                perm_.size(), h1, h2);
+  return "perm|" + base_key + buf;
 }
 
 CorrelationGenerator::CorrelationGenerator(const la::MatrixGenerator& base)
@@ -52,6 +92,12 @@ CorrelationGenerator::CorrelationGenerator(const la::MatrixGenerator& base)
 double CorrelationGenerator::entry(i64 i, i64 j) const {
   return base_.entry(i, j) * inv_sd_[static_cast<std::size_t>(i)] *
          inv_sd_[static_cast<std::size_t>(j)];
+}
+
+std::string CorrelationGenerator::cache_key() const {
+  const std::string base_key = base_.cache_key();
+  if (base_key.empty()) return {};
+  return "corr|" + base_key;
 }
 
 la::Matrix dense_from_generator(const la::MatrixGenerator& gen) {

@@ -22,6 +22,9 @@ class KernelCovGenerator final : public la::MatrixGenerator {
   }
   [[nodiscard]] i64 cols() const override { return rows(); }
   [[nodiscard]] double entry(i64 i, i64 j) const override;
+  /// kernel key + nugget + a bit-exact hash of the location set; empty
+  /// (non-cacheable) when the kernel does not implement cache_key().
+  [[nodiscard]] std::string cache_key() const override;
 
   [[nodiscard]] const LocationSet& locations() const noexcept {
     return locations_;
@@ -49,6 +52,7 @@ class PermutedGenerator final : public la::MatrixGenerator {
   }
   [[nodiscard]] i64 cols() const override { return rows(); }
   [[nodiscard]] double entry(i64 i, i64 j) const override;
+  [[nodiscard]] std::string cache_key() const override;
 
  private:
   const la::MatrixGenerator& base_;
@@ -64,6 +68,7 @@ class CorrelationGenerator final : public la::MatrixGenerator {
   [[nodiscard]] i64 rows() const override { return base_.rows(); }
   [[nodiscard]] i64 cols() const override { return rows(); }
   [[nodiscard]] double entry(i64 i, i64 j) const override;
+  [[nodiscard]] std::string cache_key() const override;
 
  private:
   const la::MatrixGenerator& base_;

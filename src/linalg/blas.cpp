@@ -234,11 +234,7 @@ void gemv(Trans trans, double alpha, ConstMatrixView a, const double* x,
     } else if (beta != 1.0) {
       for (i64 i = 0; i < m; ++i) y[i] *= beta;
     }
-    for (i64 j = 0; j < a.cols; ++j) {
-      const double axj = alpha * x[j];
-      const double* aj = a.col(j);
-      for (i64 i = 0; i < m; ++i) y[i] += axj * aj[i];
-    }
+    detail::gemv_notrans_simd(alpha, a, x, y);
   } else {
     const i64 n = a.cols;
     for (i64 j = 0; j < n; ++j) {
@@ -294,9 +290,7 @@ void trmm_lower_notrans(ConstMatrixView l, MatrixView b) {
 }
 
 double dot(i64 n, const double* x, const double* y) noexcept {
-  double s = 0.0;
-  for (i64 i = 0; i < n; ++i) s += x[i] * y[i];
-  return s;
+  return detail::dot_simd(n, x, y);
 }
 
 void axpy(i64 n, double alpha, const double* x, double* y) noexcept {

@@ -49,7 +49,8 @@ void gemv(Trans trans, double alpha, ConstMatrixView a, const double* x,
 /// upper part may hold garbage, e.g. untouched input after potrf_lower).
 void trmm_lower_notrans(ConstMatrixView l, MatrixView b);
 
-/// Dot product of n-vectors.
+/// Dot product of n-vectors. SIMD, with a fixed blocked reduction order
+/// that depends only on n (not the naive left-to-right sum).
 [[nodiscard]] double dot(i64 n, const double* x, const double* y) noexcept;
 
 /// y += alpha * x.

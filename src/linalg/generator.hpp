@@ -6,6 +6,8 @@
 // tiles are generated from parallel runtime tasks.
 #pragma once
 
+#include <string>
+
 #include "common/types.hpp"
 #include "linalg/matrix.hpp"
 
@@ -17,6 +19,15 @@ class MatrixGenerator {
 
   [[nodiscard]] virtual i64 rows() const = 0;
   [[nodiscard]] virtual i64 cols() const = 0;
+
+  /// Stable identity string for caching (engine::FactorCache): two
+  /// generators with the same key must describe bitwise-identical matrices.
+  /// Implementations with bulk content (e.g. location sets) may identify it
+  /// by a content hash of at least 128 bits — the cache does not re-verify
+  /// generator contents on a hit, so the key carries the full identity
+  /// guarantee (a 128-bit hash makes a false hit astronomically unlikely).
+  /// The default (empty) opts out of caching.
+  [[nodiscard]] virtual std::string cache_key() const { return {}; }
 
   /// Value of entry (i, j) of the full matrix.
   [[nodiscard]] virtual double entry(i64 i, i64 j) const = 0;

@@ -209,4 +209,82 @@ void gemm_packed(double alpha, Trans trans_a, ConstMatrixView a,
   }
 }
 
+#if defined(__GNUC__) || defined(__clang__)
+
+namespace {
+
+inline void store8(double* p, v8df v) { __builtin_memcpy(p, &v, sizeof(v)); }
+
+}  // namespace
+
+double dot_simd(i64 n, const double* x, const double* y) noexcept {
+  v8df acc0 = splat(0.0), acc1 = splat(0.0);
+  v8df acc2 = splat(0.0), acc3 = splat(0.0);
+  i64 i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc0 += load8(x + i) * load8(y + i);
+    acc1 += load8(x + i + 8) * load8(y + i + 8);
+    acc2 += load8(x + i + 16) * load8(y + i + 16);
+    acc3 += load8(x + i + 24) * load8(y + i + 24);
+  }
+  for (; i + 8 <= n; i += 8) acc0 += load8(x + i) * load8(y + i);
+  // Fixed-order reduction: pairwise over accumulators, then over lanes, then
+  // the scalar tail — a function of n only.
+  acc0 += acc1;
+  acc2 += acc3;
+  acc0 += acc2;
+  alignas(64) double lanes[8];
+  store8(lanes, acc0);
+  double s = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+             ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+  for (; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+void gemv_notrans_simd(double alpha, ConstMatrixView a, const double* x,
+                       double* y) {
+  const i64 m = a.rows;
+  for (i64 j = 0; j < a.cols; ++j) {
+    const double axj = alpha * x[j];
+    const v8df vax = splat(axj);
+    const double* __restrict aj = a.col(j);
+    i64 i = 0;
+    for (; i + 8 <= m; i += 8)
+      store8(y + i, load8(y + i) + vax * load8(aj + i));
+    for (; i < m; ++i) y[i] += axj * aj[i];
+  }
+}
+
+#else  // scalar fallbacks, same reduction orders
+
+double dot_simd(i64 n, const double* x, const double* y) noexcept {
+  double lanes[8] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  double acc[32];
+  for (double& v : acc) v = 0.0;
+  i64 i = 0;
+  for (; i + 32 <= n; i += 32)
+    for (int l = 0; l < 32; ++l) acc[l] += x[i + l] * y[i + l];
+  for (; i + 8 <= n; i += 8)
+    for (int l = 0; l < 8; ++l) acc[l] += x[i + l] * y[i + l];
+  // acc0 += acc1; acc2 += acc3; acc0 += acc2 of the vector version, lanewise.
+  for (int l = 0; l < 8; ++l)
+    lanes[l] = (acc[l] + acc[8 + l]) + (acc[16 + l] + acc[24 + l]);
+  double s = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+             ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+  for (; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+void gemv_notrans_simd(double alpha, ConstMatrixView a, const double* x,
+                       double* y) {
+  const i64 m = a.rows;
+  for (i64 j = 0; j < a.cols; ++j) {
+    const double axj = alpha * x[j];
+    const double* __restrict aj = a.col(j);
+    for (i64 i = 0; i < m; ++i) y[i] += axj * aj[i];
+  }
+}
+
+#endif
+
 }  // namespace parmvn::la::detail

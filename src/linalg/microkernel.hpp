@@ -60,4 +60,17 @@ inline constexpr i64 kNC = 1024;
 void gemm_packed(double alpha, Trans trans_a, ConstMatrixView a,
                  Trans trans_b, ConstMatrixView b, MatrixView c);
 
+/// SIMD dot product backing la::dot (ACA pivot search and the QMC sweep's
+/// triangular solves are the hot callers). Four independent 8-lane
+/// accumulators, reduced in a fixed lane order — the reduction order depends
+/// only on n, preserving the determinism contract (but it differs from the
+/// naive left-to-right sum, so callers get reassociated rounding).
+[[nodiscard]] double dot_simd(i64 n, const double* x, const double* y) noexcept;
+
+/// SIMD y += sum_j (alpha * x[j]) * A(:, j) column sweep backing la::gemv's
+/// no-transpose case; bitwise identical to the scalar loop (vectorising over
+/// rows does not reassociate any per-element sum).
+void gemv_notrans_simd(double alpha, ConstMatrixView a, const double* x,
+                       double* y);
+
 }  // namespace parmvn::la::detail

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <unordered_set>
 
 #include "common/contracts.hpp"
 #include "common/env.hpp"
@@ -41,13 +42,33 @@ struct HandleState {
   TaskNode* last_writer = nullptr;
   std::vector<TaskNode*> readers_since_write;
   std::string debug_name;
+  bool in_use = false;  // guards double-release / use-after-release
 };
+
+// Registry of live runtime uids, so uid_alive() can answer for caches that
+// hold handle-bearing objects across runtime lifetimes.
+std::mutex& uid_registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::unordered_set<u64>& uid_registry() {
+  static std::unordered_set<u64> s;
+  return s;
+}
 
 }  // namespace
 
 struct Runtime::Impl {
+  inline static std::atomic<u64> next_uid{1};
+
   explicit Impl(int threads, bool trace_on)
-      : inline_mode(threads == 0), tracing(trace_on) {
+      : uid(next_uid.fetch_add(1)), inline_mode(threads == 0),
+        tracing(trace_on) {
+    {
+      std::unique_lock registry_lock(uid_registry_mutex());
+      uid_registry().insert(uid);
+    }
     if (!inline_mode) {
       workers.reserve(static_cast<std::size_t>(threads));
       for (int w = 0; w < threads; ++w) {
@@ -63,30 +84,54 @@ struct Runtime::Impl {
     }
     ready_cv.notify_all();
     for (std::thread& t : workers) t.join();
+    std::unique_lock registry_lock(uid_registry_mutex());
+    uid_registry().erase(uid);
   }
 
   // ---- submission path (main thread) ----
-  std::size_t handle_count() {
-    std::unique_lock lock(mutex);
-    return handles.size();
-  }
-
   DataHandle register_handle(std::string debug_name) {
     std::unique_lock lock(mutex);
-    handles.push_back(HandleState{});
-    handles.back().debug_name = std::move(debug_name);
-    return DataHandle(static_cast<i64>(handles.size()) - 1);
+    i64 id;
+    if (!free_ids.empty()) {
+      id = free_ids.back();
+      free_ids.pop_back();
+    } else {
+      id = static_cast<i64>(handles.size());
+      handles.push_back(HandleState{});
+    }
+    HandleState& hs = handles[static_cast<std::size_t>(id)];
+    hs.debug_name = std::move(debug_name);
+    hs.in_use = true;
+    return DataHandle(id);
   }
 
-  void submit(std::string name, const std::vector<DataAccess>& accesses,
+  void release_handle(DataHandle handle) {
+    std::unique_lock lock(mutex);
+    PARMVN_EXPECTS(handle.valid());
+    PARMVN_EXPECTS(handle.id() < static_cast<i64>(handles.size()));
+    HandleState& hs = handles[static_cast<std::size_t>(handle.id())];
+    PARMVN_EXPECTS(hs.in_use);
+    // Releasing a handle the current epoch still references would let a
+    // recycled slot's tasks miss their dependency edges against in-flight
+    // work: reject it here instead of racing later (wait_all() clears these
+    // on epoch completion).
+    PARMVN_EXPECTS(hs.last_writer == nullptr &&
+                   hs.readers_since_write.empty());
+    hs = HandleState{};
+    free_ids.push_back(handle.id());
+  }
+
+  void submit(std::string_view name, std::span<const DataAccess> accesses,
               std::function<void()> fn, int priority) {
-    // Validate before any bookkeeping so a rejected submission cannot leave
-    // a phantom in-flight task behind.
-    for (const DataAccess& acc : accesses) {
-      PARMVN_EXPECTS(acc.handle.valid());
-      PARMVN_EXPECTS(acc.handle.id() < static_cast<i64>(handle_count()));
-    }
     if (inline_mode) {
+      // Handles are only ever registered from the submitting thread, so the
+      // validation can read `handles` without the lock in inline mode.
+      for (const DataAccess& acc : accesses) {
+        PARMVN_EXPECTS(acc.handle.valid());
+        PARMVN_EXPECTS(acc.handle.id() < static_cast<i64>(handles.size()));
+        PARMVN_EXPECTS(
+            handles[static_cast<std::size_t>(acc.handle.id())].in_use);
+      }
       // Submission order is a topological order under sequential
       // consistency, so inline execution is always legal.
       if (!first_error) {
@@ -100,13 +145,27 @@ struct Runtime::Impl {
       return;
     }
 
+    // The task node is heap-allocated up front; the name is only stored when
+    // tracing asked for it, and the access list is consumed in place — the
+    // submit path performs no other per-task allocation.
     auto node = std::make_unique<TaskNode>();
-    node->name = std::move(name);
+    if (tracing) node->name.assign(name);
     node->fn = std::move(fn);
     node->priority = priority;
     TaskNode* task = node.get();
 
     std::unique_lock lock(mutex);
+    // Validate under the same lock acquisition as the bookkeeping (one lock
+    // round-trip per submit); rejected submissions leave no phantom task
+    // behind because nothing below has run yet. The in_use check catches
+    // tasks submitted with a handle that was released (and possibly already
+    // recycled to another owner).
+    for (const DataAccess& acc : accesses) {
+      PARMVN_EXPECTS(acc.handle.valid());
+      PARMVN_EXPECTS(acc.handle.id() < static_cast<i64>(handles.size()));
+      PARMVN_EXPECTS(
+          handles[static_cast<std::size_t>(acc.handle.id())].in_use);
+    }
     task->seq = next_seq++;
     ++in_flight;
     all_tasks.push_back(std::move(node));
@@ -225,11 +284,13 @@ struct Runtime::Impl {
   std::condition_variable ready_cv;
   std::condition_variable done_cv;
   std::vector<HandleState> handles;
+  std::vector<i64> free_ids;  // released slots, reused by register_handle
   std::deque<std::unique_ptr<TaskNode>> all_tasks;
   std::priority_queue<TaskNode*, std::vector<TaskNode*>, ReadyOrder> ready;
   std::vector<std::thread> workers;
   std::vector<TaskRecord> records;
   std::exception_ptr first_error;
+  const u64 uid;
   i64 next_seq = 0;
   i64 in_flight = 0;
   std::atomic<i64> executed{0};
@@ -279,15 +340,27 @@ DataHandle Runtime::register_data(std::string debug_name) {
   return impl_->register_handle(std::move(debug_name));
 }
 
-void Runtime::submit(std::string name, std::vector<DataAccess> accesses,
+void Runtime::release_data(DataHandle handle) {
+  impl_->release_handle(handle);
+}
+
+void Runtime::submit(std::string_view name,
+                     std::span<const DataAccess> accesses,
                      std::function<void()> fn, int priority) {
-  impl_->submit(std::move(name), accesses, std::move(fn), priority);
+  impl_->submit(name, accesses, std::move(fn), priority);
 }
 
 void Runtime::wait_all() { impl_->wait_all(); }
 
 int Runtime::num_threads() const noexcept {
   return impl_->inline_mode ? 0 : static_cast<int>(impl_->workers.size());
+}
+
+u64 Runtime::uid() const noexcept { return impl_->uid; }
+
+bool Runtime::uid_alive(u64 uid) {
+  std::unique_lock registry_lock(uid_registry_mutex());
+  return uid_registry().count(uid) != 0;
 }
 
 i64 Runtime::tasks_executed() const noexcept { return impl_->executed.load(); }

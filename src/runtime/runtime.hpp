@@ -22,9 +22,11 @@
 #pragma once
 
 #include <functional>
+#include <initializer_list>
 #include <memory>
+#include <span>
 #include <string>
-#include <vector>
+#include <string_view>
 
 #include "common/types.hpp"
 #include "runtime/access.hpp"
@@ -50,15 +52,43 @@ class Runtime {
   /// Register a unit of data for dependency tracking.
   [[nodiscard]] DataHandle register_data(std::string debug_name = {});
 
-  /// Submit a task. `accesses` lists every handle the task touches.
-  void submit(std::string name, std::vector<DataAccess> accesses,
+  /// Return a handle's slot to the runtime for reuse by a future
+  /// register_data(). Callers that register transient per-round data (e.g.
+  /// the engine's sample panels) must release it, or a long-lived runtime's
+  /// handle table grows without bound. Only legal when no in-flight task
+  /// references the handle (wait_all() first); the handle value is recycled,
+  /// so any further use of it is a bug.
+  void release_data(DataHandle handle);
+
+  /// Submit a task. `accesses` lists every handle the task touches; it is
+  /// consumed during the call (never stored), so fine-grained graphs pay no
+  /// per-task access-list copy. The name is only materialised when tracing
+  /// is enabled.
+  void submit(std::string_view name, std::span<const DataAccess> accesses,
               std::function<void()> fn, int priority = 0);
+  void submit(std::string_view name,
+              std::initializer_list<DataAccess> accesses,
+              std::function<void()> fn, int priority = 0) {
+    submit(name, std::span<const DataAccess>(accesses.begin(), accesses.size()),
+           std::move(fn), priority);
+  }
 
   /// Block until all submitted tasks completed; rethrows the first task
   /// exception if any. Afterwards the runtime is reusable.
   void wait_all();
 
   [[nodiscard]] int num_threads() const noexcept;
+
+  /// Process-unique id of this runtime instance (monotonic, never reused).
+  /// Data handles are only meaningful within the runtime that registered
+  /// them; caches that hold handle-bearing objects across calls key on this
+  /// id — unlike the object address, it cannot alias a destroyed runtime.
+  [[nodiscard]] u64 uid() const noexcept;
+
+  /// Whether the runtime with this uid is still alive. Lets caches purge
+  /// entries bound to destroyed runtimes (their handles can never be used
+  /// again, so such entries only pin memory).
+  [[nodiscard]] static bool uid_alive(u64 uid);
 
   /// Total tasks executed since construction.
   [[nodiscard]] i64 tasks_executed() const noexcept;

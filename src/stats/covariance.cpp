@@ -1,11 +1,24 @@
 #include "stats/covariance.hpp"
 
 #include <cmath>
+#include <cstdio>
 
 #include "common/contracts.hpp"
 #include "stats/bessel.hpp"
 
 namespace parmvn::stats {
+
+namespace {
+
+// %.17g round-trips doubles exactly, so equal keys imply bitwise-equal
+// kernel parameters.
+std::string kernel_key(const char* kind, double p0, double p1, double p2) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s(%.17g,%.17g,%.17g)", kind, p0, p1, p2);
+  return buf;
+}
+
+}  // namespace
 
 MaternKernel::MaternKernel(double sigma2, double range, double smoothness)
     : sigma2_(sigma2), range_(range), nu_(smoothness) {
@@ -36,6 +49,10 @@ std::string MaternKernel::name() const {
   return "matern(nu=" + std::to_string(nu_) + ")";
 }
 
+std::string MaternKernel::cache_key() const {
+  return kernel_key("matern", sigma2_, range_, nu_);
+}
+
 ExponentialKernel::ExponentialKernel(double sigma2, double range)
     : sigma2_(sigma2), range_(range) {
   PARMVN_EXPECTS(sigma2 > 0.0);
@@ -48,6 +65,10 @@ double ExponentialKernel::operator()(double distance) const {
 }
 
 std::string ExponentialKernel::name() const { return "exponential"; }
+
+std::string ExponentialKernel::cache_key() const {
+  return kernel_key("exponential", sigma2_, range_, 0.0);
+}
 
 GaussianKernel::GaussianKernel(double sigma2, double range)
     : sigma2_(sigma2), range_(range) {
@@ -62,6 +83,10 @@ double GaussianKernel::operator()(double distance) const {
 }
 
 std::string GaussianKernel::name() const { return "gaussian"; }
+
+std::string GaussianKernel::cache_key() const {
+  return kernel_key("gaussian", sigma2_, range_, 0.0);
+}
 
 PoweredExponentialKernel::PoweredExponentialKernel(double sigma2, double range,
                                                    double power)
@@ -78,6 +103,10 @@ double PoweredExponentialKernel::operator()(double distance) const {
 
 std::string PoweredExponentialKernel::name() const {
   return "powexp(p=" + std::to_string(power_) + ")";
+}
+
+std::string PoweredExponentialKernel::cache_key() const {
+  return kernel_key("powexp", sigma2_, range_, power_);
 }
 
 std::unique_ptr<CovKernel> make_kernel(const std::string& kind, double sigma2,

@@ -21,6 +21,11 @@ class CovKernel {
   [[nodiscard]] virtual double variance() const = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Parameter-complete identity for factor caching: kernels with the same
+  /// key must be bitwise-identical functions. Empty (the default) opts the
+  /// kernel out of caching.
+  [[nodiscard]] virtual std::string cache_key() const { return {}; }
 };
 
 /// Matern kernel (paper eq. 6):
@@ -34,6 +39,7 @@ class MaternKernel final : public CovKernel {
   [[nodiscard]] double operator()(double distance) const override;
   [[nodiscard]] double variance() const override { return sigma2_; }
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string cache_key() const override;
 
   [[nodiscard]] double range() const noexcept { return range_; }
   [[nodiscard]] double smoothness() const noexcept { return nu_; }
@@ -53,6 +59,7 @@ class ExponentialKernel final : public CovKernel {
   [[nodiscard]] double operator()(double distance) const override;
   [[nodiscard]] double variance() const override { return sigma2_; }
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string cache_key() const override;
 
  private:
   double sigma2_;
@@ -67,6 +74,7 @@ class GaussianKernel final : public CovKernel {
   [[nodiscard]] double operator()(double distance) const override;
   [[nodiscard]] double variance() const override { return sigma2_; }
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string cache_key() const override;
 
  private:
   double sigma2_;
@@ -81,6 +89,7 @@ class PoweredExponentialKernel final : public CovKernel {
   [[nodiscard]] double operator()(double distance) const override;
   [[nodiscard]] double variance() const override { return sigma2_; }
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string cache_key() const override;
 
  private:
   double sigma2_;

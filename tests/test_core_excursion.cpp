@@ -161,6 +161,103 @@ TEST(Crd, TlrModeMatchesDenseMode) {
               static_cast<double>(rtl.region_size), 2.0);
 }
 
+TEST(Crd, BelowDirectionMatchesDirectlyNegatedField) {
+  // E-_{u,alpha}(X) == E+_{-u,alpha}(-X): running the detector with
+  // direction=kBelow must reproduce, bitwise, a kAbove run on the manually
+  // negated mean field with the negated threshold (the covariance is
+  // reflection-invariant).
+  const TestField f = make_field(7, 7, 0.18, 8);
+  rt::Runtime rt(2);
+  CrdOptions below = base_opts();
+  // P(X < 2) ~ 0.977 on the flats (mean ~ 0) and ~ 0.08 at the bump peak:
+  // the below-region is the flats, disjoint from the bump's above-region.
+  below.threshold = 2.0;
+  below.direction = core::CrdDirection::kBelow;
+  const CrdResult rb = core::detect_confidence_region(rt, *f.cov, f.mean, below);
+
+  std::vector<double> neg_mean(f.mean.size());
+  for (std::size_t i = 0; i < f.mean.size(); ++i) neg_mean[i] = -f.mean[i];
+  CrdOptions above = below;
+  above.direction = core::CrdDirection::kAbove;
+  above.threshold = -below.threshold;
+  const CrdResult ra =
+      core::detect_confidence_region(rt, *f.cov, neg_mean, above);
+
+  ASSERT_EQ(rb.order.size(), ra.order.size());
+  EXPECT_EQ(rb.order, ra.order);
+  EXPECT_EQ(rb.region, ra.region);
+  EXPECT_EQ(rb.region_size, ra.region_size);
+  for (std::size_t i = 0; i < rb.marginal.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rb.marginal[i], ra.marginal[i]) << i;
+    EXPECT_DOUBLE_EQ(rb.confidence[i], ra.confidence[i]) << i;
+  }
+  for (std::size_t i = 0; i < rb.prefix_prob.size(); ++i)
+    EXPECT_DOUBLE_EQ(rb.prefix_prob[i], ra.prefix_prob[i]) << i;
+  // And the below-region is a genuinely different object from the above-
+  // region of the *original* field at the same threshold.
+  EXPECT_GT(rb.region_size, 0) << "low-lying flats should be detected";
+}
+
+TEST(Crd, BatchedQueriesMatchSingleCallsBitwise) {
+  // detect_confidence_regions must be an invisible serving optimisation:
+  // each query's result equals the dedicated single-query call with the
+  // same parameters and seed, and queries sharing an ordering share one
+  // cached factor.
+  const TestField f = make_field(8, 8, 0.15, 9);
+  rt::Runtime rt(4);
+  const CrdOptions opts = base_opts();
+
+  std::vector<core::CrdQuery> queries;
+  queries.push_back({0.8, 0.1, core::CrdDirection::kAbove, std::nullopt});
+  queries.push_back({1.0, 0.1, core::CrdDirection::kAbove, std::nullopt});
+  queries.push_back({1.0, 0.02, core::CrdDirection::kAbove, std::nullopt});
+  queries.push_back({1.2, 0.1, core::CrdDirection::kAbove, u64{555}});
+  queries.push_back({-0.4, 0.1, core::CrdDirection::kBelow, std::nullopt});
+
+  engine::FactorCache cache(4);
+  const std::vector<CrdResult> batched =
+      core::detect_confidence_regions(rt, *f.cov, f.mean, opts, queries,
+                                      &cache);
+  ASSERT_EQ(batched.size(), queries.size());
+  // Unit-variance field: every kAbove ordering coincides, kBelow differs ->
+  // exactly two factorizations.
+  EXPECT_EQ(cache.stats().misses, 2);
+  EXPECT_EQ(cache.size(), 2u);
+
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    CrdOptions single = opts;
+    single.threshold = queries[qi].threshold;
+    single.alpha = queries[qi].alpha;
+    single.direction = queries[qi].direction;
+    if (queries[qi].seed) single.pmvn.seed = *queries[qi].seed;
+    const CrdResult alone =
+        core::detect_confidence_region(rt, *f.cov, f.mean, single);
+    EXPECT_EQ(batched[qi].order, alone.order) << qi;
+    EXPECT_EQ(batched[qi].region, alone.region) << qi;
+    EXPECT_EQ(batched[qi].region_size, alone.region_size) << qi;
+    ASSERT_EQ(batched[qi].prefix_prob.size(), alone.prefix_prob.size()) << qi;
+    for (std::size_t i = 0; i < alone.prefix_prob.size(); ++i)
+      EXPECT_DOUBLE_EQ(batched[qi].prefix_prob[i], alone.prefix_prob[i])
+          << "query=" << qi << " prefix=" << i;
+    for (std::size_t i = 0; i < alone.confidence.size(); ++i)
+      EXPECT_DOUBLE_EQ(batched[qi].confidence[i], alone.confidence[i])
+          << "query=" << qi << " loc=" << i;
+  }
+
+  // A repeated batch is served entirely from the cache.
+  const std::vector<CrdResult> again =
+      core::detect_confidence_regions(rt, *f.cov, f.mean, opts, queries,
+                                      &cache);
+  EXPECT_EQ(cache.stats().misses, 2);
+  EXPECT_GE(cache.stats().hits, 2);
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    EXPECT_TRUE(again[qi].factor_cached) << qi;
+    EXPECT_DOUBLE_EQ(again[qi].prefix_prob.back(),
+                     batched[qi].prefix_prob.back())
+        << qi;
+  }
+}
+
 TEST(RegionSizeAtLevel, HandlesEnvelopeAndEdges) {
   const std::vector<double> prefix{0.99, 0.95, 0.90, 0.92, 0.40};
   // Monotone envelope: 0.99 0.95 0.90 0.90 0.40.

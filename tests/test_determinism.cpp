@@ -12,9 +12,12 @@
 
 #include <limits>
 #include <memory>
+#include <numeric>
 #include <vector>
 
 #include "core/pmvn.hpp"
+#include "engine/cholesky_factor.hpp"
+#include "engine/pmvn_engine.hpp"
 #include "geo/covgen.hpp"
 #include "geo/geometry.hpp"
 #include "linalg/matrix.hpp"
@@ -98,6 +101,118 @@ TEST(Determinism, TlrPipelineBitwiseIdenticalAcrossWorkers) {
   for (int workers : kWorkerMatrix) {
     EXPECT_DOUBLE_EQ(run_tlr(workers, pb, opts), reference)
         << "TLR pipeline drifted, workers=" << workers;
+  }
+}
+
+// Batched engine run: one factor, three queries with distinct limits and
+// seeds, fused into a single task graph. Returns every per-query number so
+// the comparison covers probabilities, error bars and prefix sweeps.
+std::vector<double> run_batched(int workers, const Problem& pb,
+                                stats::SamplerKind sampler,
+                                engine::FactorKind kind) {
+  const geo::KernelCovGenerator gen(pb.locs, pb.kernel, 1e-6);
+  rt::Runtime rt(workers);
+  const i64 n = gen.rows();
+  std::vector<i64> identity(static_cast<std::size_t>(n));
+  std::iota(identity.begin(), identity.end(), i64{0});
+  const engine::FactorSpec spec{kind, 25, 1e-7, -1};
+  auto factor = std::make_shared<const engine::CholeskyFactor>(
+      engine::CholeskyFactor::factor_ordered(rt, gen, identity, spec));
+
+  engine::EngineOptions opts;
+  opts.samples_per_shift = 200;
+  opts.shifts = 4;
+  opts.sampler = sampler;
+  const engine::PmvnEngine eng(rt, factor, opts);
+
+  const std::vector<double> lo1(static_cast<std::size_t>(n), -0.6);
+  const std::vector<double> lo2(static_cast<std::size_t>(n), -0.1);
+  const std::vector<double> lo3(static_cast<std::size_t>(n), 0.4);
+  const std::vector<double> hi(static_cast<std::size_t>(n), kInf);
+  std::vector<engine::LimitSet> batch;
+  batch.push_back({lo1, hi, 20240517, true});
+  batch.push_back({lo2, hi, 20240517, false});
+  batch.push_back({lo3, hi, 777, true});
+  const std::vector<engine::QueryResult> results = eng.evaluate(batch);
+
+  std::vector<double> flat;
+  for (const engine::QueryResult& r : results) {
+    flat.push_back(r.prob);
+    flat.push_back(r.error3sigma);
+    flat.insert(flat.end(), r.prefix_prob.begin(), r.prefix_prob.end());
+  }
+  return flat;
+}
+
+TEST(Determinism, BatchedDensePipelineBitwiseIdenticalAcrossWorkers) {
+  const Problem pb(10);
+  for (auto sampler :
+       {stats::SamplerKind::kPseudoMC, stats::SamplerKind::kRichtmyer}) {
+    const std::vector<double> reference =
+        run_batched(/*workers=*/0, pb, sampler, engine::FactorKind::kDense);
+    for (int workers : kWorkerMatrix) {
+      const std::vector<double> got =
+          run_batched(workers, pb, sampler, engine::FactorKind::kDense);
+      ASSERT_EQ(got.size(), reference.size());
+      for (std::size_t i = 0; i < reference.size(); ++i)
+        EXPECT_DOUBLE_EQ(got[i], reference[i])
+            << "batched dense drifted, workers=" << workers << " value=" << i
+            << " sampler=" << static_cast<int>(sampler);
+    }
+  }
+}
+
+TEST(Determinism, BatchedTlrPipelineBitwiseIdenticalAcrossWorkers) {
+  const Problem pb(10);
+  const std::vector<double> reference =
+      run_batched(/*workers=*/0, pb, stats::SamplerKind::kRichtmyer,
+                  engine::FactorKind::kTlr);
+  for (int workers : kWorkerMatrix) {
+    const std::vector<double> got = run_batched(
+        workers, pb, stats::SamplerKind::kRichtmyer, engine::FactorKind::kTlr);
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i)
+      EXPECT_DOUBLE_EQ(got[i], reference[i])
+          << "batched TLR drifted, workers=" << workers << " value=" << i;
+  }
+}
+
+TEST(Determinism, BatchedEqualsSingleQueryEvaluationAcrossWorkers) {
+  // Batch transparency under every worker count: each query of the fused
+  // batch must be bitwise identical to evaluating it alone — the contract
+  // that makes batching an invisible serving optimisation.
+  const Problem pb(10);
+  const geo::KernelCovGenerator gen(pb.locs, pb.kernel, 1e-6);
+  const i64 n = gen.rows();
+  for (int workers : kWorkerMatrix) {
+    rt::Runtime rt(workers);
+    std::vector<i64> identity(static_cast<std::size_t>(n));
+    std::iota(identity.begin(), identity.end(), i64{0});
+    const engine::FactorSpec spec{engine::FactorKind::kDense, 25, 0.0, -1};
+    auto factor = std::make_shared<const engine::CholeskyFactor>(
+        engine::CholeskyFactor::factor_ordered(rt, gen, identity, spec));
+    engine::EngineOptions opts;
+    opts.samples_per_shift = 200;
+    opts.shifts = 4;
+    opts.sampler = stats::SamplerKind::kRichtmyer;
+    const engine::PmvnEngine eng(rt, factor, opts);
+
+    const std::vector<double> lo1(static_cast<std::size_t>(n), -0.6);
+    const std::vector<double> lo2(static_cast<std::size_t>(n), 0.1);
+    const std::vector<double> hi(static_cast<std::size_t>(n), kInf);
+    std::vector<engine::LimitSet> batch;
+    batch.push_back({lo1, hi, 20240517, true});
+    batch.push_back({lo2, hi, 42, true});
+    const std::vector<engine::QueryResult> fused = eng.evaluate(batch);
+    for (std::size_t qi = 0; qi < batch.size(); ++qi) {
+      const engine::QueryResult alone = eng.evaluate_one(batch[qi]);
+      EXPECT_DOUBLE_EQ(fused[qi].prob, alone.prob)
+          << "workers=" << workers << " query=" << qi;
+      ASSERT_EQ(fused[qi].prefix_prob.size(), alone.prefix_prob.size());
+      for (std::size_t i = 0; i < alone.prefix_prob.size(); ++i)
+        EXPECT_DOUBLE_EQ(fused[qi].prefix_prob[i], alone.prefix_prob[i])
+            << "workers=" << workers << " query=" << qi << " prefix=" << i;
+    }
   }
 }
 

@@ -283,6 +283,51 @@ TEST(Calibration, HostProbeSane) {
   EXPECT_LT(cal.qmc_ns_per_entry, 1e5);
 }
 
+TEST(Calibration, MachineModelWiresProbeResults) {
+  // stream_efficiency = (kQmcFlopsPerEntry / ns_per_entry) / gflops: an
+  // integrand rate of 60 flops per 6 ns = 10 GFlop/s against a 40 GFlop/s
+  // dgemm probe gives 0.25; per 3 ns gives 0.5.
+  const MachineModel base = MachineModel::cray_xc40();
+  MachineModel m = dist::calibrated_machine({40.0, 6.0}, base);
+  EXPECT_DOUBLE_EQ(m.gflops_per_core, 40.0);
+  EXPECT_NEAR(m.stream_efficiency, 0.25, 1e-12);
+  m = dist::calibrated_machine({40.0, 3.0}, base);
+  EXPECT_NEAR(m.stream_efficiency, 0.5, 1e-12);
+  // Efficiency can never exceed dgemm rate.
+  m = dist::calibrated_machine({10.0, 0.1}, base);
+  EXPECT_DOUBLE_EQ(m.stream_efficiency, 1.0);
+  // Network parameters come from the base machine.
+  EXPECT_DOUBLE_EQ(m.latency_s, base.latency_s);
+  EXPECT_DOUBLE_EQ(m.bandwidth_bytes_per_s, base.bandwidth_bytes_per_s);
+}
+
+TEST(Calibration, DegenerateProbeFallsBackToAnalyticDefaults) {
+  const MachineModel base = MachineModel::cray_xc40();
+  const MachineModel m = dist::calibrated_machine({0.0, 0.0}, base);
+  EXPECT_DOUBLE_EQ(m.gflops_per_core, base.gflops_per_core);
+  EXPECT_DOUBLE_EQ(m.stream_efficiency, 0.25) << "analytic default kept";
+  // A dgemm probe without an integrand probe updates only the rate.
+  const MachineModel half = dist::calibrated_machine({33.0, 0.0}, base);
+  EXPECT_DOUBLE_EQ(half.gflops_per_core, 33.0);
+  EXPECT_DOUBLE_EQ(half.stream_efficiency, 0.25);
+}
+
+TEST(Calibration, EndToEndProbeFeedsPredictor) {
+  const auto cal = dist::calibrate_host(96);
+  const MachineModel m = dist::calibrated_machine(cal);
+  EXPECT_GT(m.stream_efficiency, 0.0);
+  EXPECT_LE(m.stream_efficiency, 1.0);
+  dist::DistConfig cfg;
+  cfg.n = 9604;
+  cfg.tile = 980;
+  cfg.qmc_samples = 1000;
+  cfg.nodes = 4;
+  cfg.machine = m;
+  const auto p = dist::predict_pmvn(cfg);
+  EXPECT_GT(p.total_s, 0.0);
+  EXPECT_GE(p.total_s, p.chol_s);
+}
+
 TEST(CostModel, TransferAndKernelCostsPositiveAndOrdered) {
   const MachineModel m = MachineModel::cray_xc40();
   EXPECT_GT(dist::transfer_seconds(m, 0), 0.0);  // latency floor
