@@ -143,6 +143,10 @@ void BM_trsm(benchmark::State& state) {
 }
 BENCHMARK(BM_trsm)->Arg(128)->Arg(256);
 
+// The sample-contiguous panel sweep (rows = samples); square nb x nb panels,
+// so the counter is integrand entries (chain steps x samples) per second.
+// bench_qmc_sweep has the full before/after series against the seed's
+// sample-major scalar kernel.
 void BM_qmc_kernel(benchmark::State& state) {
   const i64 nb = state.range(0);
   const la::Matrix l = spd_lower(nb);
@@ -164,7 +168,39 @@ void BM_qmc_kernel(benchmark::State& state) {
       static_cast<double>(nb * nb) * state.iterations(),
       benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_qmc_kernel)->Arg(128)->Arg(256);
+BENCHMARK(BM_qmc_kernel)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_norm_cdf_batch(benchmark::State& state) {
+  const i64 n = 4096;
+  std::vector<double> x(static_cast<std::size_t>(n)), out(
+      static_cast<std::size_t>(n));
+  for (i64 i = 0; i < n; ++i)
+    x[static_cast<std::size_t>(i)] = -4.0 + 8.0 * static_cast<double>(i) /
+                                                static_cast<double>(n);
+  for (auto _ : state) {
+    stats::norm_cdf_batch(n, x.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["values/s"] = benchmark::Counter(
+      static_cast<double>(n) * state.iterations(), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_norm_cdf_batch);
+
+void BM_norm_quantile_batch(benchmark::State& state) {
+  const i64 n = 4096;
+  std::vector<double> p(static_cast<std::size_t>(n)), out(
+      static_cast<std::size_t>(n));
+  for (i64 i = 0; i < n; ++i)
+    p[static_cast<std::size_t>(i)] =
+        (static_cast<double>(i) + 0.5) / static_cast<double>(n);
+  for (auto _ : state) {
+    stats::norm_quantile_batch(n, p.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["values/s"] = benchmark::Counter(
+      static_cast<double>(n) * state.iterations(), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_norm_quantile_batch);
 
 void BM_compress_block(benchmark::State& state) {
   const i64 nb = state.range(0);

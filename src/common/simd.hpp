@@ -1,0 +1,96 @@
+// Shared SIMD lane types for the -march=native kernel TUs.
+//
+// GCC/Clang vector extensions, not intrinsics: the same source lowers to the
+// best ISA the translation unit is compiled for (AVX-512 down to SSE2), so
+// the GEMM microkernel and the batched stats primitives stay portable while
+// still mapping onto full-width registers under PARMVN_KERNEL_NATIVE.
+//
+// Only the TUs that CMake compiles with the native flags should include
+// this; everything else keeps the default target so baseline numerics stay
+// flag-stable. On compilers without the extension, PARMVN_SIMD_VECTOR_EXT
+// stays undefined and callers must provide a scalar path.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PARMVN_SIMD_VECTOR_EXT 1
+
+// Below-native builds lower v8df to narrower registers and warn that the
+// vector-call ABI differs across GCC versions; every vector value here stays
+// within one TU (the helpers inline), so the ABI never crosses a boundary.
+#pragma GCC diagnostic ignored "-Wpsabi"
+
+#include <cstring>
+
+#include "common/types.hpp"
+
+namespace parmvn::simd {
+
+inline constexpr int kLanes = 8;
+
+using v8df = double __attribute__((vector_size(64), aligned(64)));
+// Comparison results on v8df: one i64 lane of all-ones (true) / zero per
+// double lane.
+using v8di = i64 __attribute__((vector_size(64), aligned(64)));
+using v8du = u64 __attribute__((vector_size(64), aligned(64)));
+
+inline v8df splat(double x) noexcept { return v8df{x, x, x, x, x, x, x, x}; }
+
+/// Unaligned-safe load/store; memcpy keeps it strict-aliasing clean and
+/// compiles to a single vector move.
+inline v8df load8(const double* p) noexcept {
+  v8df v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void store8(double* p, v8df v) noexcept {
+  __builtin_memcpy(p, &v, sizeof(v));
+}
+
+inline v8di bits_of(v8df v) noexcept {
+  v8di b;
+  __builtin_memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+inline v8df value_of(v8di b) noexcept {
+  v8df v;
+  __builtin_memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+/// Lanewise mask ? a : b, with `mask` an all-ones/zero comparison result.
+inline v8df select(v8di mask, v8df a, v8df b) noexcept {
+  return value_of((mask & bits_of(a)) | (~mask & bits_of(b)));
+}
+
+using v8qi = char __attribute__((vector_size(8)));
+
+/// Compress an all-ones/zero comparison mask to one byte per lane (a single
+/// vpmovqb on AVX-512, a short pack sequence elsewhere) — the cheap form of
+/// movemask for branch probing.
+inline u64 mask_bytes(v8di mask) noexcept {
+  const v8qi b = __builtin_convertvector(mask, v8qi);
+  u64 r;
+  __builtin_memcpy(&r, &b, sizeof(r));
+  return r;
+}
+
+inline bool all_true(v8di mask) noexcept {
+  return mask_bytes(mask) == ~u64{0};
+}
+
+inline bool any_true(v8di mask) noexcept { return mask_bytes(mask) != 0; }
+
+/// min/max with the select's NaN semantics: picks `b` when the comparison
+/// with a NaN lane is false (callers screen NaNs before relying on these).
+inline v8df vmin(v8df a, v8df b) noexcept { return select(a < b, a, b); }
+inline v8df vmax(v8df a, v8df b) noexcept { return select(a > b, a, b); }
+
+inline v8df vabs(v8df a) noexcept {
+  return value_of(bits_of(a) & static_cast<i64>(0x7fffffffffffffffLL));
+}
+
+}  // namespace parmvn::simd
+
+#endif  // __GNUC__ || __clang__

@@ -214,10 +214,10 @@ std::vector<CrdResult> detect_confidence_regions(
     bool cached = false;
     double factor_paid_s = 0.0;
     if (cache != nullptr) {
-      const i64 hits_before = cache->stats().hits;
       const WallTimer factor_timer;
-      factor = cache->get_or_factor(rt, cov, order, spec, sd);
-      cached = cache->stats().hits > hits_before;
+      // `cached` comes from the call itself, not a stats() delta — the
+      // counters are shared across serving threads and race.
+      factor = cache->get_or_factor(rt, cov, order, spec, sd, &cached);
       factor_paid_s = cached ? 0.0 : factor_timer.seconds();
     } else {
       factor = std::make_shared<const engine::CholeskyFactor>(
@@ -247,11 +247,17 @@ std::vector<CrdResult> detect_confidence_regions(
             engine::LimitSet{pq.a_ord, b_ord, pq.seed, /*prefix=*/true});
       slot_of_member[mi] = slot;
     }
-    const std::vector<engine::QueryResult> batch = eng.evaluate(limits);
+    std::vector<engine::QueryResult> batch = eng.evaluate(limits);
+
+    // The last member consuming a dedup slot takes the prefix vector by
+    // move (a sole-owner slot — the common alpha-sweep case — never copies).
+    std::vector<i64> slot_remaining(limits.size(), 0);
+    for (const std::size_t slot : slot_of_member) ++slot_remaining[slot];
 
     for (std::size_t mi = 0; mi < members.size(); ++mi) {
       const std::size_t qi = members[mi];
-      const engine::QueryResult& qr = batch[slot_of_member[mi]];
+      const std::size_t slot = slot_of_member[mi];
+      engine::QueryResult& qr = batch[slot];
       CrdResult& res = results[qi];
       // Attribute the group's one Cholesky and its one fused sweep to the
       // first member, so summing the per-query costs over a batch gives the
@@ -259,7 +265,10 @@ std::vector<CrdResult> detect_confidence_regions(
       res.factor_seconds = mi == 0 ? factor_paid_s : 0.0;
       res.factor_cached = cached;
       res.sweep_seconds = mi == 0 ? qr.seconds : 0.0;
-      finalize_result(std::move(prepared[qi]), qr.prefix_prob, res);
+      std::vector<double> prefix = (--slot_remaining[slot] == 0)
+                                       ? std::move(qr.prefix_prob)
+                                       : qr.prefix_prob;
+      finalize_result(std::move(prepared[qi]), std::move(prefix), res);
     }
   }
   return results;

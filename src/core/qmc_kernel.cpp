@@ -2,52 +2,99 @@
 
 #include <algorithm>
 
+#include "common/aligned.hpp"
 #include "common/contracts.hpp"
-#include "linalg/blas.hpp"
+#include "linalg/microkernel.hpp"
 #include "stats/normal.hpp"
 
 namespace parmvn::core {
 
 namespace {
+
 constexpr double kUEps = 1e-16;
+
+// Per-thread row scratch: s (triangular products), a'/b' (standardised
+// limits), phi/d (batched CDF outputs), u/w (quantile argument, sample
+// coordinates). Sized to the widest panel this worker has seen; contents
+// are fully rewritten every row, so reuse cannot leak state between tasks.
+struct RowScratch {
+  aligned_vector<double> buf;
+  double* s = nullptr;
+  double* av = nullptr;
+  double* bv = nullptr;
+  double* phi = nullptr;
+  double* d = nullptr;
+  double* u = nullptr;
+  double* w = nullptr;
+
+  void ensure(i64 mc) {
+    // Round each lane up to a cache line so the seven slices stay aligned.
+    const i64 stride = (mc + 7) / 8 * 8;
+    if (static_cast<i64>(buf.size()) < 7 * stride) {
+      buf.resize(static_cast<std::size_t>(7 * stride));
+    }
+    s = buf.data();
+    av = s + stride;
+    bv = av + stride;
+    phi = bv + stride;
+    d = phi + stride;
+    u = d + stride;
+    w = u + stride;
+  }
+};
+
+RowScratch& scratch() {
+  thread_local RowScratch rs;
+  return rs;
 }
+
+}  // namespace
 
 void qmc_tile_kernel(la::ConstMatrixView l, const stats::PointSet& pts,
                      i64 row0, i64 col0, la::ConstMatrixView a,
                      la::ConstMatrixView b, la::MatrixView y, double* p,
                      double* prefix_acc) {
   const i64 m = l.rows;
-  const i64 mc = a.cols;
+  const i64 mc = a.rows;
   PARMVN_EXPECTS(l.cols == m);
-  PARMVN_EXPECTS(a.rows == m && b.rows == m && y.rows == m);
-  PARMVN_EXPECTS(b.cols == mc && y.cols == mc);
+  PARMVN_EXPECTS(a.cols == m && b.cols == m && y.cols == m);
+  PARMVN_EXPECTS(b.rows == mc && y.rows == mc);
 
-  // Transpose L once so the inner dot product streams a contiguous column
-  // (row i of L becomes column i of lt).
-  la::Matrix lt(m, m);
-  for (i64 i = 0; i < m; ++i)
-    for (i64 k = 0; k <= i; ++k) lt(k, i) = l(i, k);
+  RowScratch& rs = scratch();
+  rs.ensure(mc);
 
-  for (i64 j = 0; j < mc; ++j) {
-    const i64 sample = col0 + j;
-    double pj = p[j];
-    double* __restrict yj = y.col(j);
-    for (i64 i = 0; i < m; ++i) {
-      const double* __restrict lrow = lt.view().col(i);
-      // SIMD triangular dot — the sweep's per-entry hot spot.
-      const double s = la::dot(i, lrow, yj);
-      const double lii = lrow[i];
-      const double ai = (a(i, j) - s) / lii;
-      const double bi = (b(i, j) - s) / lii;
-      const double phi_a = stats::norm_cdf(ai);
-      const double d = stats::norm_cdf_diff(ai, bi);
-      pj *= d;
-      const double w = pts.value(row0 + i, sample);
-      const double u = std::clamp(phi_a + w * d, kUEps, 1.0 - kUEps);
-      yj[i] = stats::norm_quantile(u);
-      if (prefix_acc != nullptr) prefix_acc[i] += pj;
+  const la::ConstMatrixView yc = y;  // read view of the growing panel
+  for (i64 i = 0; i < m; ++i) {
+    // s = Y(:, 0:i) * L(i, 0:i)^T over the whole sample panel: one
+    // unit-stride SIMD axpy per previous chain step, reading the factor row
+    // straight out of the column-major tile (stride l.ld). The per-sample
+    // reduction order is ascending k — a function of i only.
+    std::fill_n(rs.s, mc, 0.0);
+    la::detail::gemv_notrans_strided_simd(1.0, yc.sub(0, 0, mc, i),
+                                          l.data + i, l.ld, rs.s);
+
+    const double lii = l(i, i);
+    const double* __restrict acol = a.col(i);
+    const double* __restrict bcol = b.col(i);
+    for (i64 j = 0; j < mc; ++j) rs.av[j] = (acol[j] - rs.s[j]) / lii;
+    for (i64 j = 0; j < mc; ++j) rs.bv[j] = (bcol[j] - rs.s[j]) / lii;
+
+    // Batched transcendentals: Phi(a') and Phi(b') - Phi(a') fused (two
+    // erfc evaluations per entry), then the whole row's quantiles.
+    stats::norm_cdf_and_diff_batch(mc, rs.av, rs.bv, rs.phi, rs.d);
+    pts.fill_row(row0 + i, col0, mc, rs.w);
+    for (i64 j = 0; j < mc; ++j)
+      rs.u[j] = std::clamp(rs.phi[j] + rs.w[j] * rs.d[j], kUEps, 1.0 - kUEps);
+    stats::norm_quantile_batch(mc, rs.u, y.col(i));
+
+    for (i64 j = 0; j < mc; ++j) p[j] *= rs.d[j];
+    if (prefix_acc != nullptr) {
+      // Ascending sample order, exactly the order the sample-major loop
+      // used, so prefix accumulation stays panelling-independent.
+      double t = prefix_acc[i];
+      for (i64 j = 0; j < mc; ++j) t += p[j];
+      prefix_acc[i] = t;
     }
-    p[j] = pj;
   }
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/contracts.hpp"
+#include "core/qmc_kernel.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/potrf.hpp"
 #include "stats/normal.hpp"
@@ -14,9 +15,35 @@ namespace {
 
 constexpr double kUEps = 1e-16;  // keeps Phi^-1 arguments inside (0,1)
 
-struct ChainState {
-  double prob = 1.0;
-};
+// Samples per panel of the sample-contiguous sweep: wide enough to fill the
+// batched Phi/Phi^-1 lanes, small enough that the three (panel x n) buffers
+// stay cache-friendly at typical n.
+constexpr i64 kPanelSamples = 128;
+
+// Shared panel sweep under both SOV entry points: run the sample-contiguous
+// QMC tile kernel over panels of samples against the whole factor (one
+// "tile" of size n), handing each panel's finished per-sample products to
+// `consume(s0, pc, p)` in ascending sample order.
+template <class Consume>
+void sov_panel_sweep(la::ConstMatrixView l, std::span<const double> a,
+                     std::span<const double> b, const stats::PointSet& pts,
+                     double* prefix_acc, Consume&& consume) {
+  const i64 n = l.rows;
+  const i64 chunk = std::min<i64>(kPanelSamples, pts.num_samples());
+  la::Matrix ap(chunk, n), bp(chunk, n), yp(chunk, n);
+  for (i64 i = 0; i < n; ++i) {
+    std::fill_n(ap.view().col(i), chunk, a[static_cast<std::size_t>(i)]);
+    std::fill_n(bp.view().col(i), chunk, b[static_cast<std::size_t>(i)]);
+  }
+  std::vector<double> p(static_cast<std::size_t>(chunk));
+  for (i64 s0 = 0; s0 < pts.num_samples(); s0 += chunk) {
+    const i64 pc = std::min(chunk, pts.num_samples() - s0);
+    std::fill_n(p.data(), pc, 1.0);
+    qmc_tile_kernel(l, pts, 0, s0, ap.sub(0, 0, pc, n), bp.sub(0, 0, pc, n),
+                    yp.view().sub(0, 0, pc, n), p.data(), prefix_acc);
+    consume(s0, pc, p.data());
+  }
+}
 
 }  // namespace
 
@@ -30,27 +57,13 @@ SovResult mvn_probability_chol(la::ConstMatrixView l, std::span<const double> a,
 
   const stats::PointSet pts(opts.sampler, n, opts.samples_per_shift,
                             opts.shifts, opts.seed);
-  std::vector<double> y(static_cast<std::size_t>(n));
   std::vector<double> block_means(static_cast<std::size_t>(opts.shifts), 0.0);
-
-  for (i64 s = 0; s < pts.num_samples(); ++s) {
-    double p = 1.0;
-    for (i64 i = 0; i < n; ++i) {
-      double dotv = 0.0;
-      for (i64 k = 0; k < i; ++k) dotv += l(i, k) * y[static_cast<std::size_t>(k)];
-      const double lii = l(i, i);
-      const double ai = (a[static_cast<std::size_t>(i)] - dotv) / lii;
-      const double bi = (b[static_cast<std::size_t>(i)] - dotv) / lii;
-      const double phi_a = stats::norm_cdf(ai);
-      const double d = stats::norm_cdf_diff(ai, bi);
-      p *= d;
-      const double w = pts.value(i, s);
-      const double u =
-          std::clamp(phi_a + w * d, kUEps, 1.0 - kUEps);
-      y[static_cast<std::size_t>(i)] = stats::norm_quantile(u);
-    }
-    block_means[static_cast<std::size_t>(pts.shift_of(s))] += p;
-  }
+  sov_panel_sweep(l, a, b, pts, nullptr,
+                  [&](i64 s0, i64 pc, const double* p) {
+                    for (i64 j = 0; j < pc; ++j)
+                      block_means[static_cast<std::size_t>(
+                          pts.shift_of(s0 + j))] += p[j];
+                  });
   for (double& m : block_means) m /= static_cast<double>(opts.samples_per_shift);
   const stats::BlockEstimate est = stats::combine_block_means(block_means);
   return SovResult{est.mean, est.error3sigma};
@@ -74,26 +87,8 @@ std::vector<double> mvn_prefix_probabilities_chol(la::ConstMatrixView l,
 
   const stats::PointSet pts(opts.sampler, n, opts.samples_per_shift,
                             opts.shifts, opts.seed);
-  std::vector<double> y(static_cast<std::size_t>(n));
   std::vector<double> acc(static_cast<std::size_t>(n), 0.0);
-
-  for (i64 s = 0; s < pts.num_samples(); ++s) {
-    double p = 1.0;
-    for (i64 i = 0; i < n; ++i) {
-      double dotv = 0.0;
-      for (i64 k = 0; k < i; ++k) dotv += l(i, k) * y[static_cast<std::size_t>(k)];
-      const double lii = l(i, i);
-      const double ai = (a[static_cast<std::size_t>(i)] - dotv) / lii;
-      const double bi = (b[static_cast<std::size_t>(i)] - dotv) / lii;
-      const double phi_a = stats::norm_cdf(ai);
-      const double d = stats::norm_cdf_diff(ai, bi);
-      p *= d;
-      acc[static_cast<std::size_t>(i)] += p;
-      const double w = pts.value(i, s);
-      const double u = std::clamp(phi_a + w * d, kUEps, 1.0 - kUEps);
-      y[static_cast<std::size_t>(i)] = stats::norm_quantile(u);
-    }
-  }
+  sov_panel_sweep(l, a, b, pts, acc.data(), [](i64, i64, const double*) {});
   const double inv = 1.0 / static_cast<double>(pts.num_samples());
   for (double& v : acc) v *= inv;
   return acc;

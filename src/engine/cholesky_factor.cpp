@@ -134,18 +134,25 @@ rt::DataHandle CholeskyFactor::off_handle(i64 i, i64 r) const {
 
 void CholeskyFactor::apply_update(i64 i, i64 r, la::ConstMatrixView y,
                                   la::MatrixView a, la::MatrixView b) const {
+  // Panels are sample-contiguous (samples x dims): A -= Y L_ir^T over the
+  // (possibly wide, multi-query) panel. Each output element's reduction
+  // order in the microkernel depends only on the k extent, so per-sample
+  // rows stay bitwise independent of the panel width (the batched==single
+  // contract).
   if (kind_ == FactorKind::kDense) {
     la::ConstMatrixView lir = dense_->tile(i, r);
-    la::gemm(la::Trans::kNo, la::Trans::kNo, -1.0, lir, y, 1.0, a);
-    la::gemm(la::Trans::kNo, la::Trans::kNo, -1.0, lir, y, 1.0, b);
+    la::gemm(la::Trans::kNo, la::Trans::kYes, -1.0, y, lir, 1.0, a);
+    la::gemm(la::Trans::kNo, la::Trans::kYes, -1.0, y, lir, 1.0, b);
   } else {
+    // L_ir = U V^T, so A -= (Y V) U^T with the skinny inner product shared
+    // by both targets.
     const tlr::LowRankTile& t = tlr_->lr(i, r);
-    la::Matrix tmp(t.rank(), y.cols);
-    la::gemm(la::Trans::kYes, la::Trans::kNo, 1.0, t.v.view(), y, 0.0,
+    la::Matrix tmp(y.rows, t.rank());
+    la::gemm(la::Trans::kNo, la::Trans::kNo, 1.0, y, t.v.view(), 0.0,
              tmp.view());
-    la::gemm(la::Trans::kNo, la::Trans::kNo, -1.0, t.u.view(), tmp.view(), 1.0,
+    la::gemm(la::Trans::kNo, la::Trans::kYes, -1.0, tmp.view(), t.u.view(), 1.0,
              a);
-    la::gemm(la::Trans::kNo, la::Trans::kNo, -1.0, t.u.view(), tmp.view(), 1.0,
+    la::gemm(la::Trans::kNo, la::Trans::kYes, -1.0, tmp.view(), t.u.view(), 1.0,
              b);
   }
 }

@@ -99,9 +99,10 @@ class CholeskyFactor {
   [[nodiscard]] rt::DataHandle diag_handle(i64 r) const;
   [[nodiscard]] rt::DataHandle off_handle(i64 i, i64 r) const;
 
-  /// A -= L_ir * Y, B -= L_ir * Y over (possibly wide, multi-query) column
-  /// panels. TLR applies the low-rank form U (V^T Y), computing the inner
-  /// product once for both targets.
+  /// A -= Y * L_ir^T, B -= Y * L_ir^T over (possibly wide, multi-query)
+  /// sample-contiguous panels (rows = samples, columns = dimensions — the
+  /// QMC integrand's panel format). TLR applies the low-rank form
+  /// (Y V) U^T, computing the skinny inner product once for both targets.
   void apply_update(i64 i, i64 r, la::ConstMatrixView y, la::MatrixView a,
                     la::MatrixView b) const;
 

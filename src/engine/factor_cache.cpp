@@ -43,45 +43,80 @@ FactorCache::FactorCache(std::size_t capacity) : capacity_(capacity) {
 
 std::shared_ptr<const CholeskyFactor> FactorCache::get_or_factor(
     rt::Runtime& rt, const la::MatrixGenerator& cov, std::vector<i64> order,
-    const FactorSpec& spec, std::span<const double> sd) {
-  // Entries of destroyed runtimes can never be hit again (uids are not
-  // reused); drop them so they stop pinning factor memory and capacity.
-  for (auto it = lru_.begin(); it != lru_.end();) {
-    if (rt::Runtime::uid_alive(it->runtime_uid)) {
-      ++it;
-    } else {
-      index_.erase(it->key);
-      it = lru_.erase(it);
-      ++stats_.evictions;
-    }
-  }
-
+    const FactorSpec& spec, std::span<const double> sd,
+    bool* served_from_cache) {
+  if (served_from_cache != nullptr) *served_from_cache = false;
   const std::string gen_key = cov.cache_key();
   if (gen_key.empty()) {
     // Generator opted out of caching: factor every time.
-    ++stats_.misses;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.misses;
+    }
     return std::make_shared<const CholeskyFactor>(
         CholeskyFactor::factor_ordered(rt, cov, std::move(order), spec, sd));
   }
 
   const std::string key = make_key(gen_key, rt.uid(), order, spec);
-  if (const auto it = index_.find(key); it != index_.end()) {
-    Entry& entry = *it->second;
-    if (entry.order == order) {
-      ++stats_.hits;
-      lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
-      return entry.factor;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      // Entries of destroyed runtimes can never be hit again (uids are not
+      // reused); drop them so they stop pinning factor memory and capacity.
+      for (auto it = lru_.begin(); it != lru_.end();) {
+        if (rt::Runtime::uid_alive(it->runtime_uid)) {
+          ++it;
+        } else {
+          index_.erase(it->key);
+          it = lru_.erase(it);
+          ++stats_.evictions;
+        }
+      }
+
+      if (const auto it = index_.find(key); it != index_.end()) {
+        Entry& entry = *it->second;
+        if (entry.factor->order() == order) {
+          ++stats_.hits;
+          lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+          if (served_from_cache != nullptr) *served_from_cache = true;
+          return entry.factor;
+        }
+        // Same key but a different permutation (hash collision): the entry
+        // cannot be served — drop and refactor.
+        lru_.erase(it->second);
+        index_.erase(it);
+        break;
+      }
+      if (!in_flight_.contains(key)) break;
+      // Another thread is factoring this key: duplicating the work would
+      // not just waste the factorization — the discarded duplicate would
+      // permanently leak its runtime tile-handle slots. Wait for the
+      // winner's insert (or its failure) and re-check.
+      factored_cv_.wait(lock);
     }
-    // Same key but a different permutation (hash collision): the entry
-    // cannot be served — drop and refactor.
-    lru_.erase(it->second);
-    index_.erase(it);
+    ++stats_.misses;
+    in_flight_.insert(key);
   }
 
-  ++stats_.misses;
-  auto factor = std::make_shared<const CholeskyFactor>(
-      CholeskyFactor::factor_ordered(rt, cov, order, spec, sd));
-  lru_.push_front(Entry{key, std::move(order), rt.uid(), factor});
+  // Factor outside the lock: this is the expensive part, and concurrent
+  // misses on different keys must be able to proceed in parallel.
+  std::shared_ptr<const CholeskyFactor> factor;
+  try {
+    factor = std::make_shared<const CholeskyFactor>(
+        CholeskyFactor::factor_ordered(rt, cov, std::move(order), spec, sd));
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    in_flight_.erase(key);
+    factored_cv_.notify_all();  // waiters take over the factorization
+    throw;
+  }
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  in_flight_.erase(key);
+  factored_cv_.notify_all();
+  // No racing insert is possible while the key was in flight, so this
+  // insert is unconditional.
+  lru_.push_front(Entry{key, rt.uid(), factor});
   index_[key] = lru_.begin();
   if (lru_.size() > capacity_) {
     index_.erase(lru_.back().key);
@@ -92,6 +127,7 @@ std::shared_ptr<const CholeskyFactor> FactorCache::get_or_factor(
 }
 
 void FactorCache::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
 }

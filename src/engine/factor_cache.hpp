@@ -4,9 +4,9 @@
 // size, factor kind, TLR accuracy knobs). Generator identity comes from
 // la::MatrixGenerator::cache_key(); a generator that returns an empty key
 // opts out of caching, in which case get_or_factor() degrades to a plain
-// factorization (counted as a miss, never stored). The stored ordering is
-// compared element-wise on lookup, so hash collisions can never serve a
-// factor for the wrong permutation.
+// factorization (counted as a miss, never stored). The stored factor's own
+// ordering is compared element-wise on lookup, so hash collisions can never
+// serve a factor for the wrong permutation.
 //
 // Entries are additionally keyed by the factoring runtime's process-unique
 // uid (rt::Runtime::uid(), never an address and never reused): a destroyed-
@@ -16,14 +16,26 @@
 // unreachable forever (uids are not reused), so every lookup first purges
 // them — they must not pin factor memory or cache capacity.
 //
-// Not thread-safe: serve one request at a time, or shard one cache per
-// serving thread.
+// Thread safety: one mutex serialises lookup/insert/evict/purge, so
+// concurrent serving threads can share a single cache. The factorization
+// itself runs outside the lock (it is the expensive part and may submit to
+// a per-thread runtime); a per-key in-flight registry makes concurrent
+// misses on the *same* key wait for the first thread's factor instead of
+// duplicating the work — important beyond wasted time, because a discarded
+// duplicate factor would permanently leak its runtime tile-handle slots
+// (CholeskyFactor never releases them; see cholesky_factor.hpp). Note that
+// each factor is still bound to the runtime that built it — concurrent
+// callers with their own runtimes get their own entries by construction of
+// the key.
 #pragma once
 
+#include <condition_variable>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "engine/cholesky_factor.hpp"
@@ -42,27 +54,42 @@ class FactorCache {
 
   /// Return the cached factor for (cov, order, spec), factoring (and
   /// caching) on a miss. `order` and the optional precomputed `sd` match
-  /// CholeskyFactor::factor_ordered.
+  /// CholeskyFactor::factor_ordered. When `served_from_cache` is non-null
+  /// it is set to whether this call was handed an existing factor (a hit,
+  /// or another thread's concurrent factorization) rather than paying for
+  /// the factorization itself — callers attributing factor cost must use
+  /// this, not a stats() delta, which races under concurrent serving.
   [[nodiscard]] std::shared_ptr<const CholeskyFactor> get_or_factor(
       rt::Runtime& rt, const la::MatrixGenerator& cov, std::vector<i64> order,
-      const FactorSpec& spec, std::span<const double> sd = {});
+      const FactorSpec& spec, std::span<const double> sd = {},
+      bool* served_from_cache = nullptr);
 
-  [[nodiscard]] const FactorCacheStats& stats() const noexcept {
+  /// Snapshot of the counters (by value: the cache may be shared across
+  /// threads, so a reference into live state would race with updates).
+  [[nodiscard]] FactorCacheStats stats() const noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
     return stats_;
   }
-  [[nodiscard]] std::size_t size() const noexcept { return lru_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return lru_.size();
+  }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   void clear();
 
  private:
   struct Entry {
     std::string key;
-    std::vector<i64> order;  // verified element-wise on every hit
-    u64 runtime_uid;         // for purging entries of destroyed runtimes
+    u64 runtime_uid;  // for purging entries of destroyed runtimes
+    // The entry's permutation lives in factor->order() (factor_ordered
+    // always records it); it is verified element-wise on every hit.
     std::shared_ptr<const CholeskyFactor> factor;
   };
 
-  std::size_t capacity_;
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable factored_cv_;   // signalled when an in-flight
+  std::unordered_set<std::string> in_flight_;  // factorization completes
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
   FactorCacheStats stats_;

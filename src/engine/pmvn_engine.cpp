@@ -95,18 +95,21 @@ std::vector<QueryResult> PmvnEngine::evaluate(
     }
     const i64 nct = static_cast<i64>(tiles.size());
 
-    // Shared wide panels: one (tile_rows(r) x width) matrix per tile row for
-    // each of A, B, Y. A/B/Y of one (row, column-tile) are always touched
-    // together, so they share a single dependency handle.
+    // Shared wide panels: one sample-contiguous (width x tile_rows(r))
+    // matrix per tile row for each of A, B, Y — the same layout the QMC
+    // integrand sweeps, so the fused propagation GEMMs and the kernel share
+    // one panel format (rows = samples of the whole batch, columns = the
+    // tile row's dimensions). A/B/Y of one (row, column-tile) are always
+    // touched together, so they share a single dependency handle.
     std::vector<la::Matrix> A, B, Y;
     A.reserve(static_cast<std::size_t>(mt));
     B.reserve(static_cast<std::size_t>(mt));
     Y.reserve(static_cast<std::size_t>(mt));
     for (i64 r = 0; r < mt; ++r) {
       const i64 mr = f.tile_rows(r);
-      A.emplace_back(mr, width);
-      B.emplace_back(mr, width);
-      Y.emplace_back(mr, width);
+      A.emplace_back(width, mr);
+      B.emplace_back(width, mr);
+      Y.emplace_back(width, mr);
     }
     std::vector<std::vector<double>> prefix_acc(
         static_cast<std::size_t>(nct));
@@ -117,20 +120,21 @@ std::vector<QueryResult> PmvnEngine::evaluate(
         prefix_acc[static_cast<std::size_t>(t)].assign(
             static_cast<std::size_t>(n), 0.0);
 
-    // Handles are registered last, after every allocation that could throw:
-    // from here to the try block below nothing can exit the round without
-    // reaching release_round.
-    std::vector<rt::DataHandle> panel_handles(
-        static_cast<std::size_t>(mt * nct));
-    for (auto& h : panel_handles) h = rt_.register_data();
+    // Handle registration happens inside the try below so that a failure in
+    // register_data itself (e.g. bad_alloc growing the runtime's handle
+    // table) still reaches release_round for the handles already taken. The
+    // vectors are reserved up front, so push_back never throws and every
+    // registered handle is recorded.
+    std::vector<rt::DataHandle> panel_handles;
+    panel_handles.reserve(static_cast<std::size_t>(mt * nct));
     const auto handle = [&](i64 r, i64 t) {
       return panel_handles[static_cast<std::size_t>(r * nct + t)];
     };
     // Per-column-tile probability products (and prefix accumulators) are
     // written by every tile row's QMC task; their own handle keeps that
     // chain explicit even though the A/B/Y data flow already orders it.
-    std::vector<rt::DataHandle> p_handles(static_cast<std::size_t>(nct));
-    for (auto& h : p_handles) h = rt_.register_data();
+    std::vector<rt::DataHandle> p_handles;
+    p_handles.reserve(static_cast<std::size_t>(nct));
 
     // The round's panel/p handles must go back to the runtime on every exit
     // path (a long-lived serving runtime's handle table stays bounded), and
@@ -143,6 +147,9 @@ std::vector<QueryResult> PmvnEngine::evaluate(
       for (const rt::DataHandle h : p_handles) rt_.release_data(h);
     };
     try {
+      for (i64 k = 0; k < mt * nct; ++k)
+        panel_handles.push_back(rt_.register_data());
+      for (i64 t = 0; t < nct; ++t) p_handles.push_back(rt_.register_data());
       // Initialise A/B with the replicated per-query limit vectors (lines 2-3
       // of Algorithm 2), one task per (tile row, column tile).
       for (i64 r = 0; r < mt; ++r) {
@@ -150,20 +157,27 @@ std::vector<QueryResult> PmvnEngine::evaluate(
         const i64 row0 = r * m;
         for (i64 t = 0; t < nct; ++t) {
           const ColTile& ct = tiles[static_cast<std::size_t>(t)];
-          la::MatrixView at = A[static_cast<std::size_t>(r)].sub(0, ct.col0, mr,
-                                                                 ct.width);
-          la::MatrixView bt = B[static_cast<std::size_t>(r)].sub(0, ct.col0, mr,
-                                                                 ct.width);
+          la::MatrixView at = A[static_cast<std::size_t>(r)].sub(ct.col0, 0,
+                                                                 ct.width, mr);
+          la::MatrixView bt = B[static_cast<std::size_t>(r)].sub(ct.col0, 0,
+                                                                 ct.width, mr);
           const LimitSet& q = queries[static_cast<std::size_t>(ct.query)];
           const std::span<const double> qa = q.a;
           const std::span<const double> qb = q.b;
           rt_.submit("pmvn_init", {{handle(r, t), rt::Access::kWrite}},
                      [at, bt, row0, qa, qb] {
-                       for (i64 j = 0; j < at.cols; ++j)
-                         for (i64 i = 0; i < at.rows; ++i) {
-                           at(i, j) = qa[static_cast<std::size_t>(row0 + i)];
-                           bt(i, j) = qb[static_cast<std::size_t>(row0 + i)];
+                       // Sample-contiguous panels: replicate each limit down
+                       // its dimension's (contiguous) column.
+                       for (i64 i = 0; i < at.cols; ++i) {
+                         const double va = qa[static_cast<std::size_t>(row0 + i)];
+                         const double vb = qb[static_cast<std::size_t>(row0 + i)];
+                         double* __restrict ac = at.col(i);
+                         double* __restrict bc = bt.col(i);
+                         for (i64 j = 0; j < at.rows; ++j) {
+                           ac[j] = va;
+                           bc[j] = vb;
                          }
+                       }
                      });
         }
       }
@@ -177,11 +191,11 @@ std::vector<QueryResult> PmvnEngine::evaluate(
         for (i64 t = 0; t < nct; ++t) {
           const ColTile& ct = tiles[static_cast<std::size_t>(t)];
           la::ConstMatrixView at = A[static_cast<std::size_t>(r)].sub(
-              0, ct.col0, mr, ct.width);
+              ct.col0, 0, ct.width, mr);
           la::ConstMatrixView bt = B[static_cast<std::size_t>(r)].sub(
-              0, ct.col0, mr, ct.width);
-          la::MatrixView yt = Y[static_cast<std::size_t>(r)].sub(0, ct.col0, mr,
-                                                                 ct.width);
+              ct.col0, 0, ct.width, mr);
+          la::MatrixView yt = Y[static_cast<std::size_t>(r)].sub(ct.col0, 0,
+                                                                 ct.width, mr);
           const stats::PointSet* ps = &pts[static_cast<std::size_t>(ct.query)];
           double* pk = p[static_cast<std::size_t>(ct.query)].data() + ct.sample0;
           double* acc = prefix_acc[static_cast<std::size_t>(t)].empty()
@@ -202,12 +216,12 @@ std::vector<QueryResult> PmvnEngine::evaluate(
         }
         for (i64 i = r + 1; i < mt; ++i) {
           const i64 mi = f.tile_rows(i);
-          la::ConstMatrixView yw = Y[static_cast<std::size_t>(r)].sub(0, 0, mr,
-                                                                      width);
-          la::MatrixView aw = A[static_cast<std::size_t>(i)].sub(0, 0, mi,
-                                                                 width);
-          la::MatrixView bw = B[static_cast<std::size_t>(i)].sub(0, 0, mi,
-                                                                 width);
+          la::ConstMatrixView yw = Y[static_cast<std::size_t>(r)].sub(0, 0,
+                                                                      width, mr);
+          la::MatrixView aw = A[static_cast<std::size_t>(i)].sub(0, 0, width,
+                                                                 mi);
+          la::MatrixView bw = B[static_cast<std::size_t>(i)].sub(0, 0, width,
+                                                                 mi);
           wide_accesses.clear();
           wide_accesses.push_back({f.off_handle(i, r), rt::Access::kRead});
           for (i64 t = 0; t < nct; ++t) {

@@ -3,7 +3,9 @@
 //
 // A PmvnEngine holds one CholeskyFactor and evaluates a batch of limit sets
 // (queries) against it in a single fused task graph: the sample panels of
-// all queries are packed side by side into shared wide column panels, so
+// all queries are packed end to end into shared wide sample-contiguous
+// panels (rows = samples of the whole batch, columns = dimensions — the
+// same layout the QMC tile kernel sweeps), so
 // each propagation step is one GEMM over the whole batch — every
 // off-diagonal factor tile is read once per (tile-row pair, panel round)
 // instead of once per query — and the QMC kernels of different queries run

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/aligned.hpp"
+#include "common/simd.hpp"
 
 namespace parmvn::la::detail {
 
@@ -95,22 +96,15 @@ void pack_b(Trans trans, ConstMatrixView b, i64 p0, i64 j0, i64 kc, i64 nc,
 // GCC/Clang the eight accumulators are explicit vector-extension values
 // (lowered to the best ISA the TU is compiled for, AVX-512 down to SSE2);
 // elsewhere a scalar fallback keeps the identical reduction order.
-#if defined(__GNUC__) || defined(__clang__)
+#if defined(PARMVN_SIMD_VECTOR_EXT)
 
-using v8df = double __attribute__((vector_size(64), aligned(64)));
-
-inline v8df splat(double x) {
-  return v8df{x, x, x, x, x, x, x, x};
-}
-
-// apack panels start and stride at multiples of 128 bytes (kMR doubles), so
-// these loads are 64-byte aligned; memcpy keeps it strict-aliasing clean and
-// compiles to a single vmovapd.
-inline v8df load8(const double* p) {
-  v8df v;
-  __builtin_memcpy(&v, p, sizeof(v));
-  return v;
-}
+// Lane type and helpers shared with the other native-flag TUs (the batched
+// stats primitives); apack panels start and stride at multiples of 128 bytes
+// (kMR doubles), so load8 compiles to a single vmovapd here.
+using simd::load8;
+using simd::splat;
+using simd::store8;
+using simd::v8df;
 
 void micro_kernel(i64 kc, const double* __restrict ap,
                   const double* __restrict bp, double alpha,
@@ -209,13 +203,7 @@ void gemm_packed(double alpha, Trans trans_a, ConstMatrixView a,
   }
 }
 
-#if defined(__GNUC__) || defined(__clang__)
-
-namespace {
-
-inline void store8(double* p, v8df v) { __builtin_memcpy(p, &v, sizeof(v)); }
-
-}  // namespace
+#if defined(PARMVN_SIMD_VECTOR_EXT)
 
 double dot_simd(i64 n, const double* x, const double* y) noexcept {
   v8df acc0 = splat(0.0), acc1 = splat(0.0);
@@ -241,11 +229,11 @@ double dot_simd(i64 n, const double* x, const double* y) noexcept {
   return s;
 }
 
-void gemv_notrans_simd(double alpha, ConstMatrixView a, const double* x,
-                       double* y) {
+void gemv_notrans_strided_simd(double alpha, ConstMatrixView a,
+                               const double* x, i64 incx, double* y) {
   const i64 m = a.rows;
   for (i64 j = 0; j < a.cols; ++j) {
-    const double axj = alpha * x[j];
+    const double axj = alpha * x[j * incx];
     const v8df vax = splat(axj);
     const double* __restrict aj = a.col(j);
     i64 i = 0;
@@ -275,16 +263,21 @@ double dot_simd(i64 n, const double* x, const double* y) noexcept {
   return s;
 }
 
-void gemv_notrans_simd(double alpha, ConstMatrixView a, const double* x,
-                       double* y) {
+void gemv_notrans_strided_simd(double alpha, ConstMatrixView a,
+                               const double* x, i64 incx, double* y) {
   const i64 m = a.rows;
   for (i64 j = 0; j < a.cols; ++j) {
-    const double axj = alpha * x[j];
+    const double axj = alpha * x[j * incx];
     const double* __restrict aj = a.col(j);
     for (i64 i = 0; i < m; ++i) y[i] += axj * aj[i];
   }
 }
 
 #endif
+
+void gemv_notrans_simd(double alpha, ConstMatrixView a, const double* x,
+                       double* y) {
+  gemv_notrans_strided_simd(alpha, a, x, 1, y);
+}
 
 }  // namespace parmvn::la::detail

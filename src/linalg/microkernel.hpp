@@ -73,4 +73,11 @@ void gemm_packed(double alpha, Trans trans_a, ConstMatrixView a,
 void gemv_notrans_simd(double alpha, ConstMatrixView a, const double* x,
                        double* y);
 
+/// Same sweep with a strided x (x[j * incx]): the QMC integrand's
+/// sample-contiguous row accumulation s += sum_k L(i, k) * Y(:, k) reads the
+/// factor row i directly out of the column-major tile (incx = ld). The
+/// per-element reduction order is ascending k, independent of panel width.
+void gemv_notrans_strided_simd(double alpha, ConstMatrixView a,
+                               const double* x, i64 incx, double* y);
+
 }  // namespace parmvn::la::detail

@@ -113,6 +113,45 @@ double PointSet::value(i64 dim_index, i64 sample_index) const {
   return 0.0;
 }
 
+void PointSet::fill_row(i64 dim_index, i64 sample0, i64 count,
+                        double* out) const {
+  PARMVN_EXPECTS(dim_index >= 0 && dim_index < dim_);
+  PARMVN_EXPECTS(count >= 0);
+  PARMVN_EXPECTS(sample0 >= 0 && sample0 + count <= num_samples());
+  switch (kind_) {
+    case SamplerKind::kPseudoMC:
+      for (i64 j = 0; j < count; ++j)
+        out[j] = counter_u01(seed_, dim_index, sample0 + j + 0x51ed2701);
+      return;
+    case SamplerKind::kRichtmyer: {
+      const double a = alpha_[static_cast<std::size_t>(dim_index)];
+      for (i64 j = 0; j < count; ++j) {
+        const int shift = shift_of(sample0 + j);
+        const i64 local =
+            sample0 + j - static_cast<i64>(shift) * samples_per_shift_;
+        const double shift_u =
+            counter_u01(seed_ ^ 0x7ac3591bd1e8a2c4ULL, dim_index, shift);
+        out[j] = frac(static_cast<double>(local + 1) * a + shift_u);
+      }
+      return;
+    }
+    case SamplerKind::kHalton: {
+      const i64 base = halton_base_[static_cast<std::size_t>(dim_index)];
+      for (i64 j = 0; j < count; ++j) {
+        const int shift = shift_of(sample0 + j);
+        const i64 local =
+            sample0 + j - static_cast<i64>(shift) * samples_per_shift_;
+        const double shift_u =
+            counter_u01(seed_ ^ 0x2cb9ae11f53dc049ULL, dim_index, shift);
+        const double h = scrambled_radical_inverse(local + 1, base, seed_);
+        out[j] = frac(h + shift_u);
+      }
+      return;
+    }
+  }
+  PARMVN_ASSERT(false);
+}
+
 BlockEstimate combine_block_means(const std::vector<double>& block_means) {
   PARMVN_EXPECTS(!block_means.empty());
   const auto count = static_cast<double>(block_means.size());

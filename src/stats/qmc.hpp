@@ -41,6 +41,12 @@ class PointSet {
   /// Coordinate `dim_index` of global sample `sample_index`.
   [[nodiscard]] double value(i64 dim_index, i64 sample_index) const;
 
+  /// out[j] = value(dim_index, sample0 + j) for j in [0, count): one panel
+  /// row of the sample-contiguous QMC sweep, bitwise identical to per-call
+  /// value() but with the kind dispatch and bounds checks hoisted out of
+  /// the loop.
+  void fill_row(i64 dim_index, i64 sample0, i64 count, double* out) const;
+
   [[nodiscard]] i64 dim() const noexcept { return dim_; }
   [[nodiscard]] i64 num_samples() const noexcept {
     return samples_per_shift_ * num_shifts_;

@@ -1,8 +1,13 @@
 // Direct tests for the Algorithm-3 tile kernel (core/qmc_kernel.hpp): chain
-// equivalence with the sequential recursion, infinite-limit handling, dead
-// chains, prefix accumulation and tiling invariance.
+// equivalence with the sequential recursion, equivalence with the seed's
+// sample-major scalar kernel, infinite-limit handling, dead chains, prefix
+// accumulation and tiling invariance.
+//
+// Panel layout: a/b/y are sample-contiguous (mc x m) — row index = sample,
+// column index = tile-local dimension.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <vector>
@@ -34,16 +39,45 @@ Matrix lower_factor(i64 n, u64 seed) {
   return s;
 }
 
+// The seed's sample-major scalar recursion (one chain at a time, plain
+// left-to-right dots through the scalar Phi / Phi^-1): the reference the
+// vectorized panel sweep must agree with.
+void reference_kernel(la::ConstMatrixView l, const stats::PointSet& pts,
+                      i64 row0, i64 col0, la::ConstMatrixView a,
+                      la::ConstMatrixView b, la::MatrixView y, double* p,
+                      double* prefix_acc) {
+  const i64 m = l.rows;
+  const i64 mc = a.rows;
+  for (i64 j = 0; j < mc; ++j) {
+    double pj = p[j];
+    for (i64 i = 0; i < m; ++i) {
+      double s = 0.0;
+      for (i64 k = 0; k < i; ++k) s += l(i, k) * y(j, k);
+      const double lii = l(i, i);
+      const double ai = (a(j, i) - s) / lii;
+      const double bi = (b(j, i) - s) / lii;
+      const double phi_a = stats::norm_cdf(ai);
+      const double d = stats::norm_cdf_diff(ai, bi);
+      pj *= d;
+      const double w = pts.value(row0 + i, col0 + j);
+      const double u = std::clamp(phi_a + w * d, 1e-16, 1.0 - 1e-16);
+      y(j, i) = stats::norm_quantile(u);
+      if (prefix_acc != nullptr) prefix_acc[i] += pj;
+    }
+    p[j] = pj;
+  }
+}
+
 TEST(QmcKernel, MatchesScalarRecursionPerChain) {
   const i64 m = 12;
   const i64 mc = 5;
   const Matrix l = lower_factor(m, 3);
   const stats::PointSet pts(stats::SamplerKind::kPseudoMC, m, 64, 1, 9);
-  Matrix a(m, mc), b(m, mc), y(m, mc);
+  Matrix a(mc, m), b(mc, m), y(mc, m);
   for (i64 j = 0; j < mc; ++j)
     for (i64 i = 0; i < m; ++i) {
-      a(i, j) = -1.2 - 0.05 * static_cast<double>(i);
-      b(i, j) = 0.8 + 0.03 * static_cast<double>(j);
+      a(j, i) = -1.2 - 0.05 * static_cast<double>(i);
+      b(j, i) = 0.8 + 0.03 * static_cast<double>(j);
     }
   std::vector<double> p(static_cast<std::size_t>(mc), 1.0);
   core::qmc_tile_kernel(l.view(), pts, 0, 0, a.view(), b.view(), y.view(),
@@ -56,8 +90,8 @@ TEST(QmcKernel, MatchesScalarRecursionPerChain) {
   for (i64 i = 0; i < m; ++i) {
     double s = 0.0;
     for (i64 k = 0; k < i; ++k) s += l(i, k) * yref[static_cast<std::size_t>(k)];
-    const double ai = (a(i, j) - s) / l(i, i);
-    const double bi = (b(i, j) - s) / l(i, i);
+    const double ai = (a(j, i) - s) / l(i, i);
+    const double bi = (b(j, i) - s) / l(i, i);
     const double d = stats::norm_cdf_diff(ai, bi);
     pref *= d;
     const double u = std::clamp(stats::norm_cdf(ai) + pts.value(i, j) * d,
@@ -66,18 +100,61 @@ TEST(QmcKernel, MatchesScalarRecursionPerChain) {
   }
   EXPECT_NEAR(p[static_cast<std::size_t>(j)], pref, 1e-13);
   for (i64 i = 0; i < m; ++i)
-    EXPECT_NEAR(y(i, j), yref[static_cast<std::size_t>(i)], 1e-11) << i;
+    EXPECT_NEAR(y(j, i), yref[static_cast<std::size_t>(i)], 1e-11) << i;
+}
+
+// Old-vs-new equivalence: the panel sweep against the seed's sample-major
+// kernel at the panel widths the engine actually produces (full tile, a
+// ragged SIMD tail, a single chain). Tolerances absorb the reassociated
+// triangular products and the native batched transcendentals (<= ~1e-14
+// relative per evaluation; chains amplify through the quantile feedback).
+TEST(QmcKernel, MatchesSampleMajorSeedKernelAcrossWidths) {
+  const i64 m = 24;
+  for (const i64 mc : {i64{1}, i64{7}, i64{64}}) {
+    const Matrix l = lower_factor(m, 17);
+    const stats::PointSet pts(stats::SamplerKind::kRichtmyer, 2 * m,
+                              std::max<i64>(mc, 8), 2, 31);
+    Matrix a(mc, m), b(mc, m), y_new(mc, m), y_old(mc, m);
+    for (i64 j = 0; j < mc; ++j)
+      for (i64 i = 0; i < m; ++i) {
+        a(j, i) = -1.5 - 0.04 * static_cast<double>((i * 5 + j) % 7);
+        b(j, i) = 0.6 + 0.05 * static_cast<double>((i + 2 * j) % 5);
+      }
+    std::vector<double> p_new(static_cast<std::size_t>(mc), 1.0);
+    std::vector<double> p_old(static_cast<std::size_t>(mc), 1.0);
+    std::vector<double> acc_new(static_cast<std::size_t>(m), 0.0);
+    std::vector<double> acc_old(static_cast<std::size_t>(m), 0.0);
+    core::qmc_tile_kernel(l.view(), pts, m, 0, a.view(), b.view(),
+                          y_new.view(), p_new.data(), acc_new.data());
+    reference_kernel(l.view(), pts, m, 0, a.view(), b.view(), y_old.view(),
+                     p_old.data(), acc_old.data());
+    for (i64 j = 0; j < mc; ++j) {
+      EXPECT_NEAR(p_new[static_cast<std::size_t>(j)] /
+                      p_old[static_cast<std::size_t>(j)],
+                  1.0, 1e-10)
+          << "mc=" << mc << " chain=" << j;
+      for (i64 i = 0; i < m; ++i)
+        EXPECT_NEAR(y_new(j, i), y_old(j, i),
+                    1e-9 * (1.0 + std::fabs(y_old(j, i))))
+            << "mc=" << mc << " chain=" << j << " row=" << i;
+    }
+    for (i64 i = 0; i < m; ++i)
+      EXPECT_NEAR(acc_new[static_cast<std::size_t>(i)],
+                  acc_old[static_cast<std::size_t>(i)],
+                  1e-10 * static_cast<double>(mc))
+          << "mc=" << mc << " prefix row=" << i;
+  }
 }
 
 TEST(QmcKernel, InfiniteLimitsContributeFactorOne) {
   const i64 m = 8;
   const Matrix l = lower_factor(m, 5);
   const stats::PointSet pts(stats::SamplerKind::kRichtmyer, m, 16, 1, 1);
-  Matrix a(m, 2), b(m, 2), y(m, 2);
+  Matrix a(2, m), b(2, m), y(2, m);
   for (i64 j = 0; j < 2; ++j)
     for (i64 i = 0; i < m; ++i) {
-      a(i, j) = -kInf;
-      b(i, j) = kInf;
+      a(j, i) = -kInf;
+      b(j, i) = kInf;
     }
   std::vector<double> p(2, 0.7);
   core::qmc_tile_kernel(l.view(), pts, 0, 0, a.view(), b.view(), y.view(),
@@ -86,8 +163,8 @@ TEST(QmcKernel, InfiniteLimitsContributeFactorOne) {
   EXPECT_DOUBLE_EQ(p[0], 0.7);
   EXPECT_DOUBLE_EQ(p[1], 0.7);
   for (i64 i = 0; i < m; ++i) {
-    EXPECT_TRUE(std::isfinite(y(i, 0)));
-    EXPECT_NE(y(i, 0), 0.0);  // a genuine quantile draw, not a placeholder
+    EXPECT_TRUE(std::isfinite(y(0, i)));
+    EXPECT_NE(y(0, i), 0.0);  // a genuine quantile draw, not a placeholder
   }
 }
 
@@ -95,18 +172,18 @@ TEST(QmcKernel, DeadChainZeroesProbabilityAndStaysFinite) {
   const i64 m = 6;
   const Matrix l = lower_factor(m, 7);
   const stats::PointSet pts(stats::SamplerKind::kPseudoMC, m, 8, 1, 2);
-  Matrix a(m, 1), b(m, 1), y(m, 1);
+  Matrix a(1, m), b(1, m), y(1, m);
   for (i64 i = 0; i < m; ++i) {
-    a(i, 0) = -1.0;
-    b(i, 0) = 1.0;
+    a(0, i) = -1.0;
+    b(0, i) = 1.0;
   }
-  a(2, 0) = 2.0;  // inverted box at row 2: d = 0 kills the chain
-  b(2, 0) = -2.0;
+  a(0, 2) = 2.0;  // inverted box at row 2: d = 0 kills the chain
+  b(0, 2) = -2.0;
   std::vector<double> p(1, 1.0);
   core::qmc_tile_kernel(l.view(), pts, 0, 0, a.view(), b.view(), y.view(),
                         p.data(), nullptr);
   EXPECT_DOUBLE_EQ(p[0], 0.0);
-  for (i64 i = 0; i < m; ++i) EXPECT_TRUE(std::isfinite(y(i, 0))) << i;
+  for (i64 i = 0; i < m; ++i) EXPECT_TRUE(std::isfinite(y(0, i))) << i;
 }
 
 TEST(QmcKernel, PrefixAccumulatorSumsRunningProducts) {
@@ -114,11 +191,11 @@ TEST(QmcKernel, PrefixAccumulatorSumsRunningProducts) {
   const i64 mc = 4;
   const Matrix l = lower_factor(m, 11);
   const stats::PointSet pts(stats::SamplerKind::kPseudoMC, m, 32, 1, 3);
-  Matrix a(m, mc), b(m, mc), y(m, mc);
+  Matrix a(mc, m), b(mc, m), y(mc, m);
   for (i64 j = 0; j < mc; ++j)
     for (i64 i = 0; i < m; ++i) {
-      a(i, j) = -0.5;
-      b(i, j) = kInf;
+      a(j, i) = -0.5;
+      b(j, i) = kInf;
     }
   std::vector<double> p(static_cast<std::size_t>(mc), 1.0);
   std::vector<double> acc(static_cast<std::size_t>(m), 0.0);
@@ -143,10 +220,10 @@ TEST(QmcKernel, RowOffsetSelectsSamplerDimensions) {
   const i64 m = 6;
   const Matrix l = lower_factor(m, 13);
   const stats::PointSet pts(stats::SamplerKind::kPseudoMC, 2 * m, 16, 1, 4);
-  Matrix a(m, 1), b(m, 1), y0(m, 1), y1(m, 1);
+  Matrix a(1, m), b(1, m), y0(1, m), y1(1, m);
   for (i64 i = 0; i < m; ++i) {
-    a(i, 0) = -1.0;
-    b(i, 0) = 1.0;
+    a(0, i) = -1.0;
+    b(0, i) = 1.0;
   }
   std::vector<double> p0(1, 1.0), p1(1, 1.0);
   core::qmc_tile_kernel(l.view(), pts, 0, 0, a.view(), b.view(), y0.view(),
@@ -154,7 +231,7 @@ TEST(QmcKernel, RowOffsetSelectsSamplerDimensions) {
   core::qmc_tile_kernel(l.view(), pts, m, 0, a.view(), b.view(), y1.view(),
                         p1.data(), nullptr);
   bool differs = false;
-  for (i64 i = 0; i < m; ++i) differs |= (y0(i, 0) != y1(i, 0));
+  for (i64 i = 0; i < m; ++i) differs |= (y0(0, i) != y1(0, i));
   EXPECT_TRUE(differs);
 }
 

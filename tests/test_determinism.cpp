@@ -8,6 +8,15 @@
 // Any later change that makes task arithmetic schedule-dependent (atomics
 // with relaxed reduction order, worker-local accumulators merged in
 // completion order, …) fails here with EXPECT_DOUBLE_EQ, not a tolerance.
+//
+// The suite runs unchanged on both kernel builds — PARMVN_KERNEL_NATIVE=ON
+// (vector-lane batched Phi/Phi^-1 in the QMC sweep) and OFF (scalar
+// fallback) — and CI exercises both: the sample-contiguous kernel is
+// deterministic per tile because its per-row reduction orders and 8-wide
+// sample chunking are pure functions of the tile shape and sample offsets,
+// never of worker count or batch width. The batched==single contract below
+// additionally relies on engine column tiles always landing on the same
+// global sample offsets regardless of batch size.
 #include <gtest/gtest.h>
 
 #include <limits>

@@ -4,10 +4,12 @@
 // and FactorCache LRU/keying semantics.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <memory>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "core/pmvn.hpp"
@@ -368,6 +370,47 @@ TEST(FactorCache, KernelAndGeneratorKeysAreParameterComplete) {
   const geo::CorrelationGenerator corr(g1);
   EXPECT_FALSE(corr.cache_key().empty());
   EXPECT_NE(corr.cache_key(), g1.cache_key());
+}
+
+TEST(FactorCache, ConcurrentServingThreadsShareOneCache) {
+  // The first ROADMAP scaling lever: one mutex over lookup/insert/evict/
+  // purge lets serving threads share a cache. Each thread drives its own
+  // runtime (factors stay runtime-bound, so threads get their own entries
+  // by key) against a small shared cache whose capacity forces concurrent
+  // insert/evict traffic; every returned factor must be intact and the
+  // counters must balance.
+  const SpatialProblem pb(4);
+  const i64 n = pb.n();
+  std::vector<i64> identity(static_cast<std::size_t>(n));
+  std::iota(identity.begin(), identity.end(), i64{0});
+  std::vector<i64> reversed(identity.rbegin(), identity.rend());
+  const engine::FactorSpec spec{engine::FactorKind::kDense, 8, 0.0, -1};
+
+  engine::FactorCache cache(3);  // < threads x orders: eviction under load
+  constexpr int kThreads = 4;
+  constexpr int kIters = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      rt::Runtime rt(1);
+      for (int it = 0; it < kIters; ++it) {
+        const std::vector<i64>& order = (it + t) % 2 == 0 ? identity : reversed;
+        const auto factor = cache.get_or_factor(rt, *pb.cov, order, spec);
+        if (factor == nullptr || factor->dim() != n ||
+            factor->order() != order) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+  const engine::FactorCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, i64{kThreads * kIters});
+  EXPECT_GT(stats.misses, 0);
+  EXPECT_LE(cache.size(), cache.capacity());
 }
 
 }  // namespace

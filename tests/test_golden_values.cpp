@@ -83,6 +83,38 @@ TEST(GoldenNormal, QuantileCdfRoundTripAtReferencePoints) {
         << "x=" << x;
 }
 
+TEST(GoldenNormal, BatchedCdfMatchesMpmathReference) {
+  // The batched primitives (native vector lanes or scalar fallback,
+  // whichever this build ships) must sit inside the same pinned 1e-12 band
+  // as the scalar kernels.
+  constexpr double kXs[] = {-8, -5, -2.5, -1, -0.5, 0.3, 1, 2, 4, 6};
+  constexpr double kPhi[] = {
+      6.220960574271784124e-16, 2.866515718791939117e-7,
+      0.006209665325776135167,  0.1586552539314570514,
+      0.3085375387259868964,    0.6179114221889526373,
+      0.8413447460685429486,    0.9772498680518207928,
+      0.9999683287581668801,    0.999999999013412355};
+  constexpr int kN = 10;
+  double out[kN];
+  parmvn::stats::norm_cdf_batch(kN, kXs, out);
+  for (int i = 0; i < kN; ++i)
+    expect_rel(out[i], kPhi[i], "batched Phi", kXs[i]);
+}
+
+TEST(GoldenNormal, BatchedQuantileMatchesMpmathReference) {
+  constexpr double kPs[] = {1e-12, 1e-6, 0.001,  0.025,      0.31,
+                            0.75,  0.975, 0.9999, 1.0 - 1e-9};
+  constexpr double kQs[] = {
+      -7.034483825301131933, -4.753424308822898957, -3.090232306167813535,
+      -1.959963984540054212, -0.4958503473474533329, 0.6744897501960817432,
+      1.959963984540053856,  3.719016485455708387,  5.997807019601637426};
+  constexpr int kN = 9;
+  double out[kN];
+  parmvn::stats::norm_quantile_batch(kN, kPs, out);
+  for (int i = 0; i < kN; ++i)
+    expect_rel(out[i], kQs[i], "batched Phi^-1", kPs[i]);
+}
+
 TEST(GoldenBessel, KnuMatchesMpmathReference) {
   struct Case {
     double nu, x, k, k_scaled;

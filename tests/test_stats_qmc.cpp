@@ -106,6 +106,28 @@ TEST(Richtmyer, ShiftBlocksAreDistinct) {
   EXPECT_EQ(ps.shift_of(255), 3);
 }
 
+TEST(PointSet, FillRowBitwiseMatchesPerCallValue) {
+  // The sample-contiguous sweep reads whole rows; fill_row must reproduce
+  // value() bit for bit for every sampler kind, including across shift
+  // block boundaries and at ragged offsets.
+  for (SamplerKind kind : {SamplerKind::kPseudoMC, SamplerKind::kRichtmyer,
+                           SamplerKind::kHalton}) {
+    PointSet ps(kind, 6, 20, 3, 777);
+    std::vector<double> row(static_cast<std::size_t>(ps.num_samples()));
+    for (i64 dim = 0; dim < 6; ++dim) {
+      for (const auto [s0, count] : {std::pair<i64, i64>{0, 60},
+                                     {17, 25},  // straddles a shift boundary
+                                     {59, 1}}) {
+        ps.fill_row(dim, s0, count, row.data());
+        for (i64 j = 0; j < count; ++j)
+          EXPECT_EQ(row[static_cast<std::size_t>(j)], ps.value(dim, s0 + j))
+              << "kind=" << static_cast<int>(kind) << " dim=" << dim
+              << " s0=" << s0 << " j=" << j;
+      }
+    }
+  }
+}
+
 TEST(PointSet, PreconditionViolations) {
   EXPECT_THROW(PointSet(SamplerKind::kPseudoMC, 0, 10, 1, 1), parmvn::Error);
   EXPECT_THROW(PointSet(SamplerKind::kPseudoMC, 2, 0, 1, 1), parmvn::Error);
