@@ -1,0 +1,82 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace parmvn::common {
+
+HelperPool::HelperPool(int helpers) {
+  PARMVN_EXPECTS(helpers >= 0);
+  threads_.reserve(static_cast<std::size_t>(helpers));
+  for (int i = 0; i < helpers; ++i)
+    threads_.emplace_back([this] { helper_loop(); });
+}
+
+HelperPool::~HelperPool() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    stop_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+bool HelperPool::try_run(i64 total, i64 align,
+                         const std::function<void(i64, i64)>& fn) {
+  PARMVN_EXPECTS(total >= 0 && align >= 1);
+  if (threads_.empty()) return false;
+  if (busy_.exchange(true, std::memory_order_acquire)) return false;
+
+  const int parts = helpers() + 1;
+  // Aligned even split; trailing chunks may be empty when total is small.
+  i64 chunk = (total + parts - 1) / parts;
+  chunk = ((chunk + align - 1) / align) * align;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    fn_ = &fn;
+    total_ = total;
+    chunk_ = chunk;
+    next_chunk_ = 1;  // the caller takes chunk 0
+    remaining_ = helpers();
+    ++generation_;
+  }
+  job_cv_.notify_all();
+
+  fn(0, std::min(total, chunk));
+
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [this] { return remaining_ == 0; });
+    fn_ = nullptr;
+  }
+  busy_.store(false, std::memory_order_release);
+  return true;
+}
+
+void HelperPool::helper_loop() {
+  u64 seen = 0;
+  for (;;) {
+    const std::function<void(i64, i64)>* fn = nullptr;
+    i64 begin = 0;
+    i64 end = 0;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      job_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = fn_;
+      const int part = next_chunk_++;
+      begin = std::min(total_, static_cast<i64>(part) * chunk_);
+      end = std::min(total_, begin + chunk_);
+    }
+    if (begin < end) (*fn)(begin, end);
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      --remaining_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace parmvn::common

@@ -1,0 +1,71 @@
+// A tiny single-flight fork-join helper pool.
+//
+// Built for the microkernel's parallel panel packing (ROADMAP: "parallel
+// packing for very large single GEMMs"): pure data-movement loops whose
+// output is byte-identical however the index range is split, so spreading
+// them over a few threads is free of determinism concerns.
+//
+// Why not the task runtime's own workers? linalg sits *below* runtime in
+// the layer graph (the runtime schedules tasks that call into linalg);
+// lending runtime workers to a GEMM running inside one of their own tasks
+// would invert that dependency and nest schedulers. Instead the pool owns
+// `helpers` parked threads of its own, and `try_run` is single-flight: if
+// another caller holds the pool (e.g. several runtime workers hit large
+// GEMMs at once), the loser simply runs its loop serially — parallel
+// packing is an opportunistic accelerator, never a semantic dependency.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace parmvn::common {
+
+class HelperPool {
+ public:
+  /// Spawns `helpers` parked worker threads (0 = pool disabled; try_run
+  /// then always returns false).
+  explicit HelperPool(int helpers);
+  ~HelperPool();
+
+  HelperPool(const HelperPool&) = delete;
+  HelperPool& operator=(const HelperPool&) = delete;
+
+  /// Split [0, total) into helpers+1 contiguous chunks whose boundaries are
+  /// multiples of `align`, run `fn(begin, end)` on every chunk (the caller
+  /// executes one, each helper one — possibly empty), and wait for all of
+  /// them. Returns false without calling fn when the pool is disabled or
+  /// another try_run is in flight — the caller then runs its loop serially.
+  /// `fn` must not throw (it is pure data movement by contract).
+  bool try_run(i64 total, i64 align, const std::function<void(i64, i64)>& fn);
+
+  [[nodiscard]] int helpers() const noexcept {
+    return static_cast<int>(threads_.size());
+  }
+
+ private:
+  void helper_loop();
+
+  std::mutex mu_;
+  std::condition_variable job_cv_;   // helpers wait for a new generation
+  std::condition_variable done_cv_;  // the caller waits for remaining == 0
+  u64 generation_ = 0;
+  int remaining_ = 0;
+  bool stop_ = false;
+  // Current job (valid while remaining_ > 0): chunk p covers
+  // [p * chunk_, min(total_, (p+1) * chunk_)), caller = chunk 0.
+  const std::function<void(i64, i64)>* fn_ = nullptr;
+  i64 total_ = 0;
+  i64 chunk_ = 0;
+  int next_chunk_ = 0;
+
+  std::atomic<bool> busy_{false};  // single-flight gate
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace parmvn::common

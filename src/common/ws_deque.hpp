@@ -1,0 +1,216 @@
+// Lock-free work-stealing deque (Chase–Lev) and the tiny spinlock used by
+// the task runtime's per-task bookkeeping.
+//
+// The deque follows Chase & Lev, "Dynamic Circular Work-Stealing Deque"
+// (SPAA 2005) with the memory-order discipline of Lê et al., "Correct and
+// Efficient Work-Stealing for Weak Memory Models" (PPoPP 2013), with one
+// deliberate deviation: the standalone fences of the PPoPP version are
+// strengthened into seq_cst operations on `top_`/`bottom_` themselves.
+// ThreadSanitizer does not model std::atomic_thread_fence, so the
+// fence-based formulation reports false races; the seq_cst formulation is
+// strictly stronger, TSan-exact, and on x86 costs one locked instruction on
+// the owner's push/pop — noise next to a task body.
+//
+// Ownership protocol:
+//  * push()/pop() may only be called by the deque's owner thread (the
+//    worker whose ready queue this is). They operate on the bottom end, so
+//    the owner runs newest-first (LIFO, cache-hot).
+//  * steal() may be called by any thread. It takes from the top end, so
+//    thieves run oldest-first (FIFO) — for task graphs submitted in
+//    dependency order that is the deepest remaining critical path.
+//  * Values must be trivially copyable (the runtime stores raw task
+//    pointers). A null value is reserved for "empty / lost the race".
+//
+// Growth: the ring doubles when full. Only the owner grows; retired rings
+// are kept alive until the deque is destroyed so a concurrently racing
+// thief can still read through a stale ring pointer (its CAS on `top_`
+// decides whether the read value is used, so stale *contents* are safe).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/types.hpp"
+
+namespace parmvn::common {
+
+/// Pause hint for spin loops; falls back to a plain yield-less no-op where
+/// the ISA has no cheap pause instruction.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+/// Minimal test-and-set spinlock for critical sections of a few dozen
+/// instructions (successor-list append, done-flag flip). Spins with a pause
+/// hint and yields to the OS after a burst so an oversubscribed core (more
+/// workers than CPUs) cannot starve the lock holder.
+class Spinlock {
+ public:
+  void lock() noexcept {
+    int spins = 0;
+    while (locked_.exchange(true, std::memory_order_acquire)) {
+      do {
+        if (++spins >= kSpinsBeforeYield) {
+          spins = 0;
+          std::this_thread::yield();
+        } else {
+          cpu_relax();
+        }
+      } while (locked_.load(std::memory_order_relaxed));
+    }
+  }
+
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+ private:
+  static constexpr int kSpinsBeforeYield = 64;
+  std::atomic<bool> locked_{false};
+};
+
+/// RAII guard for Spinlock (std::lock_guard works too; this avoids the
+/// <mutex> include in headers that only need the spinlock).
+class SpinlockGuard {
+ public:
+  explicit SpinlockGuard(Spinlock& lock) noexcept : lock_(lock) {
+    lock_.lock();
+  }
+  ~SpinlockGuard() { lock_.unlock(); }
+  SpinlockGuard(const SpinlockGuard&) = delete;
+  SpinlockGuard& operator=(const SpinlockGuard&) = delete;
+
+ private:
+  Spinlock& lock_;
+};
+
+template <typename T>
+class WsDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "WsDeque stores values in atomic ring slots");
+
+ public:
+  explicit WsDeque(i64 capacity = kDefaultCapacity) {
+    rings_.push_back(std::make_unique<Ring>(capacity));
+    ring_.store(rings_.back().get(), std::memory_order_relaxed);
+  }
+
+  WsDeque(const WsDeque&) = delete;
+  WsDeque& operator=(const WsDeque&) = delete;
+
+  /// Owner only: push one item at the bottom.
+  void push(T item) {
+    const i64 b = bottom_.load(std::memory_order_relaxed);
+    const i64 t = top_.load(std::memory_order_acquire);
+    Ring* ring = ring_.load(std::memory_order_relaxed);
+    if (b - t >= ring->capacity) ring = grow(ring, t, b);
+    ring->put(b, item);
+    // seq_cst publish: a thief that observes the new bottom also observes
+    // the slot write (release) and orders against its own top CAS.
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+  }
+
+  /// Owner only: pop the most recently pushed item; returns T{} when the
+  /// deque is empty or the last item was lost to a concurrent thief.
+  T pop() {
+    // Empty fast path without the seq_cst reservation: top only grows, so
+    // a stale top under-reports it and the test can only false-*negative*
+    // into the slow path — "empty" here is always truly empty.
+    if (bottom_.load(std::memory_order_relaxed) -
+            top_.load(std::memory_order_relaxed) <=
+        0)
+      return T{};
+    const i64 b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* ring = ring_.load(std::memory_order_relaxed);
+    // Reserve the bottom slot before inspecting top (the seq_cst store is
+    // the fence that orders this reservation against concurrent steals).
+    bottom_.store(b, std::memory_order_seq_cst);
+    i64 t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // empty: undo the reservation
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return T{};
+    }
+    T item = ring->get(b);
+    if (t == b) {
+      // Last element: race the thieves for it via the top CAS.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        item = T{};  // a thief won
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  /// Any thread: steal the oldest item; returns T{} when the deque looks
+  /// empty or the CAS lost a race (callers just move to the next victim).
+  T steal() {
+    i64 t = top_.load(std::memory_order_seq_cst);
+    const i64 b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return T{};
+    Ring* ring = ring_.load(std::memory_order_acquire);
+    T item = ring->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return T{};
+    }
+    return item;
+  }
+
+  /// Racy emptiness hint for scan loops — never a correctness signal.
+  [[nodiscard]] bool empty_hint() const noexcept {
+    return bottom_.load(std::memory_order_relaxed) -
+               top_.load(std::memory_order_relaxed) <=
+           0;
+  }
+
+ private:
+  static constexpr i64 kDefaultCapacity = 256;
+
+  struct Ring {
+    explicit Ring(i64 cap)
+        : capacity(cap),
+          mask(cap - 1),
+          slots(std::make_unique<std::atomic<T>[]>(static_cast<std::size_t>(cap))) {
+      // The mask-based wraparound silently corrupts indexing otherwise.
+      PARMVN_EXPECTS(cap > 0 && std::has_single_bit(static_cast<u64>(cap)));
+    }
+
+    [[nodiscard]] T get(i64 i) const noexcept {
+      return slots[static_cast<std::size_t>(i & mask)].load(
+          std::memory_order_relaxed);
+    }
+    void put(i64 i, T v) noexcept {
+      slots[static_cast<std::size_t>(i & mask)].store(
+          v, std::memory_order_relaxed);
+    }
+
+    const i64 capacity;  // power of two
+    const i64 mask;
+    std::unique_ptr<std::atomic<T>[]> slots;
+  };
+
+  Ring* grow(Ring* old, i64 t, i64 b) {
+    rings_.push_back(std::make_unique<Ring>(old->capacity * 2));
+    Ring* bigger = rings_.back().get();
+    for (i64 i = t; i < b; ++i) bigger->put(i, old->get(i));
+    // Thieves latch the ring pointer with acquire; the retired ring stays
+    // allocated (rings_ is owner-touched only), so a thief mid-steal on the
+    // old ring reads stale-but-valid memory and its CAS arbitrates.
+    ring_.store(bigger, std::memory_order_release);
+    return bigger;
+  }
+
+  std::atomic<i64> top_{0};
+  std::atomic<i64> bottom_{0};
+  std::atomic<Ring*> ring_{nullptr};
+  std::vector<std::unique_ptr<Ring>> rings_;  // owner only; keeps retirees
+};
+
+}  // namespace parmvn::common

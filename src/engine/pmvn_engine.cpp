@@ -7,6 +7,7 @@
 #include "common/timer.hpp"
 #include "core/qmc_kernel.hpp"
 #include "linalg/matrix.hpp"
+#include "runtime/priority.hpp"
 
 namespace parmvn::engine {
 
@@ -212,7 +213,7 @@ std::vector<QueryResult> PmvnEngine::evaluate(
                        core::qmc_tile_kernel(lrr, *ps, row0, sample0, at, bt, yt,
                                              pk, acc);
                      },
-                     /*priority=*/2);
+                     rt::kPrioSweep);
         }
         for (i64 i = r + 1; i < mt; ++i) {
           const i64 mi = f.tile_rows(i);
@@ -229,11 +230,15 @@ std::vector<QueryResult> PmvnEngine::evaluate(
             wide_accesses.push_back({handle(i, t), rt::Access::kReadWrite});
           }
           const CholeskyFactor* fp = factor_.get();
+          // The i == r+1 update feeds the next tile row's QMC tasks
+          // directly — the sweep's critical path — so it shares the QMC
+          // lane; the remaining updates trail (same weighting as the
+          // factorizations, see runtime/priority.hpp).
           rt_.submit("pmvn_update", wide_accesses,
                      [fp, i, r, yw, aw, bw] {
                        fp->apply_update(i, r, yw, aw, bw);
                      },
-                     /*priority=*/1);
+                     i == r + 1 ? rt::kPrioSweep : rt::kPrioUpdate);
         }
       }
       rt_.wait_all();

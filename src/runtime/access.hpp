@@ -15,6 +15,10 @@ enum class Access {
   kReadWrite,  // exclusive; previous value needed
 };
 
+namespace detail {
+struct HandleMint;
+}
+
 /// Opaque name for a unit of data tracked by the runtime (e.g. one tile).
 /// Handles are cheap value types; they do not own the data they describe.
 class DataHandle {
@@ -26,9 +30,18 @@ class DataHandle {
 
  private:
   friend class Runtime;
+  friend struct detail::HandleMint;
   explicit DataHandle(i64 id) : id_(id) {}
   i64 id_ = -1;
 };
+
+namespace detail {
+/// Internal factory used by the scheduler implementations (runtime-private
+/// translation units) to mint handles; not for library users.
+struct HandleMint {
+  static DataHandle make(i64 id) noexcept { return DataHandle(id); }
+};
+}  // namespace detail
 
 /// One (handle, mode) pair in a task's access list.
 struct DataAccess {

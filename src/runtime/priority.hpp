@@ -1,0 +1,54 @@
+// Named priority ladder for Runtime::submit.
+//
+// `Runtime::submit(..., int priority)` was historically a bare tie-break
+// int with no documented scale; these constants define the scale and how
+// the schedulers interpret it.
+//
+// The ladder (higher runs earlier):
+//
+//   kPrioPanel  (3)  panel factorization and the tasks that feed the *next*
+//                    panel directly — the critical path of a tiled/TLR
+//                    Cholesky (POTRF, the first sub-diagonal TRSM, the SYRK
+//                    into the next diagonal tile).
+//   kPrioSweep  (2)  panel-release work: the remaining TRSMs of the current
+//                    panel, and the QMC integrand tasks of the PMVN sweep.
+//   kPrioUpdate (1)  trailing updates that feed the next panel's TRSMs
+//                    (GEMMs into column k+1).
+//   kPrioBulk   (0)  everything else: far trailing updates, panel
+//                    initialisation, default for unannotated tasks.
+//
+// Scheduler interaction:
+//
+//  * The work-stealing scheduler maps priorities onto kNumPriorityLanes
+//    per-worker deques via priority_lane() (values clamp at the ends, so
+//    any int remains legal). Owners pop their highest non-empty lane
+//    newest-first; thieves scan victims highest-lane-first and steal
+//    oldest-first. Because panel k's tasks are always submitted before
+//    panel k+1's, oldest-first steal order *within* a lane is exactly
+//    descending remaining-critical-path depth — stealing prefers the
+//    critical path without a per-task depth integer.
+//  * The legacy global-queue scheduler (PARMVN_SCHED_GLOBAL=1) orders its
+//    single ready queue by the raw int, FIFO within equal priority.
+//  * Priorities are scheduling hints only; correctness (sequential
+//    consistency per data handle, bitwise determinism across worker
+//    counts) comes solely from the declared data accesses.
+#pragma once
+
+namespace parmvn::rt {
+
+inline constexpr int kPrioBulk = 0;
+inline constexpr int kPrioUpdate = 1;
+inline constexpr int kPrioSweep = 2;
+inline constexpr int kPrioPanel = 3;
+
+/// Number of ready-queue lanes per worker in the work-stealing scheduler.
+inline constexpr int kNumPriorityLanes = 4;
+
+/// Lane a submitted priority lands in: the ladder value, clamped.
+constexpr int priority_lane(int priority) noexcept {
+  if (priority < 0) return 0;
+  if (priority >= kNumPriorityLanes) return kNumPriorityLanes - 1;
+  return priority;
+}
+
+}  // namespace parmvn::rt

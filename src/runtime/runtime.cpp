@@ -1,49 +1,21 @@
+// Runtime facade: uid registry, scheduler-arm selection, and the inline
+// (0-worker) implementation. The two threaded scheduler arms live in
+// scheduler_worksteal.cpp (default) and scheduler_global.cpp (the frozen
+// pre-PR-5 single-lock baseline, PARMVN_SCHED_GLOBAL=1).
 #include "runtime/runtime.hpp"
 
-#include <algorithm>
-#include <atomic>
-#include <condition_variable>
 #include <cstdio>
-#include <deque>
-#include <exception>
 #include <mutex>
-#include <queue>
-#include <thread>
 #include <unordered_set>
+#include <vector>
 
 #include "common/contracts.hpp"
 #include "common/env.hpp"
-#include "common/timer.hpp"
+#include "runtime/runtime_impl.hpp"
 
 namespace parmvn::rt {
 
 namespace {
-
-enum class TaskState { kWaiting, kReady, kRunning, kDone };
-
-struct TaskNode {
-  std::string name;
-  std::function<void()> fn;
-  int priority = 0;
-  i64 seq = 0;  // submission order; FIFO tie-break in the ready queue
-  i64 unmet = 0;
-  TaskState state = TaskState::kWaiting;
-  std::vector<TaskNode*> successors;
-};
-
-struct ReadyOrder {
-  bool operator()(const TaskNode* a, const TaskNode* b) const {
-    if (a->priority != b->priority) return a->priority < b->priority;
-    return a->seq > b->seq;  // earlier submission first
-  }
-};
-
-struct HandleState {
-  TaskNode* last_writer = nullptr;
-  std::vector<TaskNode*> readers_since_write;
-  std::string debug_name;
-  bool in_use = false;  // guards double-release / use-after-release
-};
 
 // Registry of live runtime uids, so uid_alive() can answer for caches that
 // hold handle-bearing objects across runtime lifetimes.
@@ -57,266 +29,113 @@ std::unordered_set<u64>& uid_registry() {
   return s;
 }
 
-}  // namespace
+std::atomic<u64> next_uid{1};
 
-struct Runtime::Impl {
-  inline static std::atomic<u64> next_uid{1};
+SchedulerKind resolve_kind(SchedulerKind requested) {
+  if (requested != SchedulerKind::kDefault) return requested;
+  return env_i64("PARMVN_SCHED_GLOBAL", 0) != 0 ? SchedulerKind::kGlobalQueue
+                                                : SchedulerKind::kWorkSteal;
+}
 
-  explicit Impl(int threads, bool trace_on)
-      : uid(next_uid.fetch_add(1)), inline_mode(threads == 0),
-        tracing(trace_on) {
-    {
-      std::unique_lock registry_lock(uid_registry_mutex());
-      uid_registry().insert(uid);
-    }
-    if (!inline_mode) {
-      workers.reserve(static_cast<std::size_t>(threads));
-      for (int w = 0; w < threads; ++w) {
-        workers.emplace_back([this, w] { worker_loop(w); });
-      }
-    }
-  }
+// Inline mode: tasks execute immediately on submit — submission order is
+// always a valid topological order under sequential consistency, so no
+// hazard tracking is needed, only handle-table bookkeeping. Single-threaded
+// by contract (see runtime.hpp): with tasks running inside submit() on the
+// calling thread, concurrent submitters would interleave task bodies
+// anyway, so no synchronization is provided here.
+class InlineImpl final : public Runtime::Impl {
+ public:
+  InlineImpl(u64 uid_arg, bool trace_on, SchedulerKind kind_arg)
+      : Impl(uid_arg, trace_on, kind_arg) {}
 
-  ~Impl() {
-    {
-      std::unique_lock lock(mutex);
-      shutting_down = true;
-    }
-    ready_cv.notify_all();
-    for (std::thread& t : workers) t.join();
-    std::unique_lock registry_lock(uid_registry_mutex());
-    uid_registry().erase(uid);
-  }
-
-  // ---- submission path (main thread) ----
-  DataHandle register_handle(std::string debug_name) {
-    std::unique_lock lock(mutex);
+  DataHandle register_handle(std::string debug_name) override {
     i64 id;
-    if (!free_ids.empty()) {
-      id = free_ids.back();
-      free_ids.pop_back();
+    if (!free_ids_.empty()) {
+      id = free_ids_.back();
+      free_ids_.pop_back();
     } else {
-      id = static_cast<i64>(handles.size());
-      handles.push_back(HandleState{});
+      id = static_cast<i64>(in_use_.size());
+      in_use_.push_back(false);
     }
-    HandleState& hs = handles[static_cast<std::size_t>(id)];
-    hs.debug_name = std::move(debug_name);
-    hs.in_use = true;
-    return DataHandle(id);
+    in_use_[static_cast<std::size_t>(id)] = true;
+    (void)debug_name;  // inline mode never traces hazards
+    return detail::HandleMint::make(id);
   }
 
-  void release_handle(DataHandle handle) {
-    std::unique_lock lock(mutex);
+  void release_handle(DataHandle handle) override {
     PARMVN_EXPECTS(handle.valid());
-    PARMVN_EXPECTS(handle.id() < static_cast<i64>(handles.size()));
-    HandleState& hs = handles[static_cast<std::size_t>(handle.id())];
-    PARMVN_EXPECTS(hs.in_use);
-    // Releasing a handle the current epoch still references would let a
-    // recycled slot's tasks miss their dependency edges against in-flight
-    // work: reject it here instead of racing later (wait_all() clears these
-    // on epoch completion).
-    PARMVN_EXPECTS(hs.last_writer == nullptr &&
-                   hs.readers_since_write.empty());
-    hs = HandleState{};
-    free_ids.push_back(handle.id());
+    PARMVN_EXPECTS(handle.id() < static_cast<i64>(in_use_.size()));
+    PARMVN_EXPECTS(in_use_[static_cast<std::size_t>(handle.id())]);
+    in_use_[static_cast<std::size_t>(handle.id())] = false;
+    free_ids_.push_back(handle.id());
   }
 
-  void submit(std::string_view name, std::span<const DataAccess> accesses,
-              std::function<void()> fn, int priority) {
-    if (inline_mode) {
-      // Handles are only ever registered from the submitting thread, so the
-      // validation can read `handles` without the lock in inline mode.
-      for (const DataAccess& acc : accesses) {
-        PARMVN_EXPECTS(acc.handle.valid());
-        PARMVN_EXPECTS(acc.handle.id() < static_cast<i64>(handles.size()));
-        PARMVN_EXPECTS(
-            handles[static_cast<std::size_t>(acc.handle.id())].in_use);
-      }
-      // Submission order is a topological order under sequential
-      // consistency, so inline execution is always legal.
-      if (!first_error) {
-        try {
-          fn();
-        } catch (...) {
-          first_error = std::current_exception();
-        }
-      }
-      ++executed;
-      return;
-    }
-
-    // The task node is heap-allocated up front; the name is only stored when
-    // tracing asked for it, and the access list is consumed in place — the
-    // submit path performs no other per-task allocation.
-    auto node = std::make_unique<TaskNode>();
-    if (tracing) node->name.assign(name);
-    node->fn = std::move(fn);
-    node->priority = priority;
-    TaskNode* task = node.get();
-
-    std::unique_lock lock(mutex);
-    // Validate under the same lock acquisition as the bookkeeping (one lock
-    // round-trip per submit); rejected submissions leave no phantom task
-    // behind because nothing below has run yet. The in_use check catches
-    // tasks submitted with a handle that was released (and possibly already
-    // recycled to another owner).
+  void submit(std::string_view /*name*/, std::span<const DataAccess> accesses,
+              std::function<void()> fn, int /*priority*/) override {
     for (const DataAccess& acc : accesses) {
       PARMVN_EXPECTS(acc.handle.valid());
-      PARMVN_EXPECTS(acc.handle.id() < static_cast<i64>(handles.size()));
-      PARMVN_EXPECTS(
-          handles[static_cast<std::size_t>(acc.handle.id())].in_use);
+      PARMVN_EXPECTS(acc.handle.id() < static_cast<i64>(in_use_.size()));
+      PARMVN_EXPECTS(in_use_[static_cast<std::size_t>(acc.handle.id())]);
     }
-    task->seq = next_seq++;
-    ++in_flight;
-    all_tasks.push_back(std::move(node));
-
-    auto add_dep = [&](TaskNode* dep) {
-      if (dep == nullptr || dep == task || dep->state == TaskState::kDone)
-        return;
-      dep->successors.push_back(task);
-      ++task->unmet;
-    };
-
-    for (const DataAccess& acc : accesses) {
-      HandleState& hs = handles[static_cast<std::size_t>(acc.handle.id())];
-      switch (acc.mode) {
-        case Access::kRead:
-          add_dep(hs.last_writer);
-          hs.readers_since_write.push_back(task);
-          break;
-        case Access::kWrite:
-        case Access::kReadWrite:
-          add_dep(hs.last_writer);
-          for (TaskNode* r : hs.readers_since_write) add_dep(r);
-          hs.readers_since_write.clear();
-          hs.last_writer = task;
-          break;
+    if (!first_error_) {
+      try {
+        fn();
+      } catch (...) {
+        first_error_ = std::current_exception();
       }
     }
-
-    if (task->unmet == 0) {
-      task->state = TaskState::kReady;
-      ready.push(task);
-      lock.unlock();
-      ready_cv.notify_one();
-    }
+    executed.fetch_add(1, std::memory_order_relaxed);
   }
 
-  void wait_all() {
-    if (inline_mode) {
-      finish_epoch();
-      return;
-    }
-    std::unique_lock lock(mutex);
-    done_cv.wait(lock, [this] { return in_flight == 0; });
-    lock.unlock();
-    finish_epoch();
-  }
-
-  void finish_epoch() {
-    std::unique_lock lock(mutex);
-    all_tasks.clear();
-    for (HandleState& hs : handles) {
-      hs.last_writer = nullptr;
-      hs.readers_since_write.clear();
-    }
-    if (first_error) {
-      std::exception_ptr err = first_error;
-      first_error = nullptr;
-      cancelled = false;
-      lock.unlock();
+  void wait_all() override {
+    if (first_error_) {
+      std::exception_ptr err = first_error_;
+      first_error_ = nullptr;
       std::rethrow_exception(err);
     }
-    cancelled = false;
   }
 
-  // ---- worker path ----
-  void worker_loop(int worker_id) {
-    std::unique_lock lock(mutex);
-    for (;;) {
-      ready_cv.wait(lock, [this] { return shutting_down || !ready.empty(); });
-      if (ready.empty()) {
-        if (shutting_down) return;
-        continue;
-      }
-      TaskNode* task = ready.top();
-      ready.pop();
-      task->state = TaskState::kRunning;
-      const bool skip = cancelled;
-      lock.unlock();
-
-      const double t0 = tracing ? global_time_s() : 0.0;
-      std::exception_ptr err;
-      if (!skip) {
-        try {
-          task->fn();
-        } catch (...) {
-          err = std::current_exception();
-        }
-      }
-      const double t1 = tracing ? global_time_s() : 0.0;
-
-      lock.lock();
-      if (tracing) records.push_back({task->name, worker_id, t0, t1});
-      if (err && !first_error) {
-        first_error = err;
-        cancelled = true;  // not-yet-started tasks become no-ops
-      }
-      task->state = TaskState::kDone;
-      ++executed;
-      bool notify_ready = false;
-      for (TaskNode* succ : task->successors) {
-        if (--succ->unmet == 0) {
-          succ->state = TaskState::kReady;
-          ready.push(succ);
-          notify_ready = true;
-        }
-      }
-      --in_flight;
-      if (in_flight == 0) done_cv.notify_all();
-      if (notify_ready) ready_cv.notify_all();
-    }
+  std::exception_ptr drain_pending_error() noexcept override {
+    return first_error_;
   }
 
-  // All mutable state below is guarded by `mutex` (single-lock design: tasks
-  // are >= tens of microseconds, so lock traffic is noise).
-  std::mutex mutex;
-  std::condition_variable ready_cv;
-  std::condition_variable done_cv;
-  std::vector<HandleState> handles;
-  std::vector<i64> free_ids;  // released slots, reused by register_handle
-  std::deque<std::unique_ptr<TaskNode>> all_tasks;
-  std::priority_queue<TaskNode*, std::vector<TaskNode*>, ReadyOrder> ready;
-  std::vector<std::thread> workers;
-  std::vector<TaskRecord> records;
-  std::exception_ptr first_error;
-  const u64 uid;
-  i64 next_seq = 0;
-  i64 in_flight = 0;
-  std::atomic<i64> executed{0};
-  bool shutting_down = false;
-  bool cancelled = false;
-  bool inline_mode = false;
-  bool tracing = false;
+  [[nodiscard]] int num_threads() const noexcept override { return 0; }
+
+  [[nodiscard]] const std::vector<TaskRecord>& trace() const override {
+    return records_;
+  }
+
+ private:
+  std::vector<bool> in_use_;
+  std::vector<i64> free_ids_;
+  std::exception_ptr first_error_;
+  std::vector<TaskRecord> records_;  // inline mode records nothing
 };
 
-Runtime::Runtime(int num_threads, bool enable_trace)
-    : impl_(std::make_unique<Impl>(num_threads, enable_trace)) {
+}  // namespace
+
+Runtime::Runtime(int num_threads, bool enable_trace, SchedulerKind sched) {
   PARMVN_EXPECTS(num_threads >= 0);
+  const u64 uid = next_uid.fetch_add(1);
+  const SchedulerKind kind = resolve_kind(sched);
+  if (num_threads == 0) {
+    impl_ = make_inline_impl(uid, enable_trace, kind);
+  } else if (kind == SchedulerKind::kGlobalQueue) {
+    impl_ = make_global_impl(uid, num_threads, enable_trace);
+  } else {
+    impl_ = make_worksteal_impl(uid, num_threads, enable_trace);
+  }
+  // Register only after construction succeeded: a throwing impl constructor
+  // must not leave a dead uid marked alive.
+  std::unique_lock registry_lock(uid_registry_mutex());
+  uid_registry().insert(uid);
 }
 
 Runtime::Runtime() : Runtime(default_num_threads(), false) {}
 
 Runtime::~Runtime() {
   if (!impl_) return;
-  std::exception_ptr pending;
-  if (impl_->inline_mode) {
-    pending = impl_->first_error;
-  } else {
-    std::unique_lock lock(impl_->mutex);
-    impl_->done_cv.wait(lock, [this] { return impl_->in_flight == 0; });
-    pending = impl_->first_error;
-  }
+  const std::exception_ptr pending = impl_->drain_pending_error();
   // A destructor cannot throw, but an epoch error the caller never
   // wait_all()'d for must not vanish silently either: surface it on stderr.
   if (pending) {
@@ -333,6 +152,10 @@ Runtime::~Runtime() {
                    "non-std task exception (no wait_all() after the failing "
                    "submit)\n");
     }
+  }
+  {
+    std::unique_lock registry_lock(uid_registry_mutex());
+    uid_registry().erase(impl_->uid);
   }
 }
 
@@ -352,9 +175,9 @@ void Runtime::submit(std::string_view name,
 
 void Runtime::wait_all() { impl_->wait_all(); }
 
-int Runtime::num_threads() const noexcept {
-  return impl_->inline_mode ? 0 : static_cast<int>(impl_->workers.size());
-}
+int Runtime::num_threads() const noexcept { return impl_->num_threads(); }
+
+SchedulerKind Runtime::scheduler() const noexcept { return impl_->kind; }
 
 u64 Runtime::uid() const noexcept { return impl_->uid; }
 
@@ -363,10 +186,19 @@ bool Runtime::uid_alive(u64 uid) {
   return uid_registry().count(uid) != 0;
 }
 
-i64 Runtime::tasks_executed() const noexcept { return impl_->executed.load(); }
+i64 Runtime::tasks_executed() const noexcept {
+  return impl_->executed.load(std::memory_order_relaxed);
+}
+
+i64 Runtime::tasks_stolen() const noexcept { return impl_->tasks_stolen(); }
 
 const std::vector<TaskRecord>& Runtime::trace() const {
-  return impl_->records;
+  return impl_->trace();
+}
+
+std::unique_ptr<Runtime::Impl> make_inline_impl(u64 uid, bool tracing,
+                                                SchedulerKind kind) {
+  return std::make_unique<InlineImpl>(uid, tracing, kind);
 }
 
 }  // namespace parmvn::rt

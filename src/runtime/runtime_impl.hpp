@@ -1,0 +1,56 @@
+// Internal interface between the Runtime facade and its scheduler arms.
+// Not installed / not part of the public surface — runtime.cpp and the
+// scheduler_*.cpp translation units are the only includers.
+//
+// Three implementations exist:
+//   * make_inline_impl      — 0 workers: tasks execute inside submit().
+//   * make_global_impl      — the pre-PR-5 single-lock scheduler, frozen as
+//                             the A/B baseline arm (scheduler_global.cpp).
+//   * make_worksteal_impl   — per-worker Chase–Lev lane deques with
+//                             locality-aware placement and atomic
+//                             dependency counting (scheduler_worksteal.cpp).
+#pragma once
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+#include "runtime/runtime.hpp"
+
+namespace parmvn::rt {
+
+struct Runtime::Impl {
+  Impl(u64 uid_arg, bool tracing_arg, SchedulerKind kind_arg)
+      : uid(uid_arg), tracing(tracing_arg), kind(kind_arg) {}
+  virtual ~Impl() = default;
+
+  virtual DataHandle register_handle(std::string debug_name) = 0;
+  virtual void release_handle(DataHandle handle) = 0;
+  virtual void submit(std::string_view name,
+                      std::span<const DataAccess> accesses,
+                      std::function<void()> fn, int priority) = 0;
+  virtual void wait_all() = 0;
+
+  /// Destructor support: wait for in-flight tasks to drain, then hand back
+  /// (without clearing epoch state) any pending never-retrieved task error
+  /// so the facade can surface it on stderr. Must not throw.
+  virtual std::exception_ptr drain_pending_error() noexcept = 0;
+
+  [[nodiscard]] virtual int num_threads() const noexcept = 0;
+  [[nodiscard]] virtual const std::vector<TaskRecord>& trace() const = 0;
+  [[nodiscard]] virtual i64 tasks_stolen() const noexcept { return 0; }
+
+  const u64 uid;
+  const bool tracing;
+  const SchedulerKind kind;  // resolved arm (never kDefault)
+  std::atomic<i64> executed{0};
+};
+
+std::unique_ptr<Runtime::Impl> make_inline_impl(u64 uid, bool tracing,
+                                                SchedulerKind kind);
+std::unique_ptr<Runtime::Impl> make_global_impl(u64 uid, int threads,
+                                                bool tracing);
+std::unique_ptr<Runtime::Impl> make_worksteal_impl(u64 uid, int threads,
+                                                   bool tracing);
+
+}  // namespace parmvn::rt

@@ -1,0 +1,635 @@
+// Work-stealing scheduler arm (SchedulerKind::kWorkSteal, the default).
+//
+// Layout per worker:
+//   * kNumPriorityLanes Chase–Lev deques (common/ws_deque.hpp). The owner
+//     pushes/pops at the bottom (newest-first, cache-hot); thieves steal at
+//     the top (oldest-first — for graphs submitted in dependency order that
+//     is the deepest remaining critical path, see runtime/priority.hpp).
+//   * a mutex-guarded inbox for cross-worker placement: tasks whose
+//     tile-owner affinity points at another worker, and tasks made ready by
+//     external (non-worker) submitter threads.
+//
+// Locality rule: when a task becomes ready it goes to the worker that last
+// wrote its first ReadWrite handle (= the worker whose cache holds the tile
+// it is about to mutate). If that is the enqueuing worker itself — the
+// common case, since the completing task usually *is* that writer — the
+// push is a lock-free own-deque operation. Otherwise the task lands in the
+// owner's inbox. External submitters fall back to round-robin inboxes.
+//
+// No runtime-wide lock exists on the execution path:
+//   * dependency tracking: per-task atomic `unmet` counts, decremented with
+//     acq_rel RMWs; successor lists appended under a per-task spinlock that
+//     also latches the `done` flag, so completion never misses an edge.
+//   * submit()'s hazard bookkeeping: the handle table is split into
+//     kShards shards, each with its own mutex; a submission locks exactly
+//     the shards its access list touches, in ascending order. Two
+//     concurrent submissions with any overlapping handle serialize on a
+//     common shard and therefore observe each other's hazard updates
+//     atomically — dependency edges can never form a cycle.
+//   * completion: decrement counters, push ready successors, adjust the
+//     in-flight count; the only blocking constructs are the idle/done
+//     condition variables, touched when workers sleep or an epoch drains.
+//
+// Determinism: scheduling decides only *when* a task runs, never its
+// inputs — every ordering constraint comes from the declared data accesses,
+// which are identical across arms and worker counts. The bitwise contracts
+// (test_determinism, batched==single) therefore hold unchanged.
+#include <algorithm>
+#include <bit>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/timer.hpp"
+#include "common/ws_deque.hpp"
+#include "runtime/priority.hpp"
+#include "runtime/runtime_impl.hpp"
+
+namespace parmvn::rt {
+
+namespace {
+
+using common::Spinlock;
+using common::SpinlockGuard;
+using common::WsDeque;
+
+// Submission guard: unmet starts here and the submitter subtracts
+// (kSubmitGuard - actual dependency count) once the hazard phase is done.
+// Dependencies completing mid-submission decrement freely — the count
+// cannot reach zero until the guard is lifted, and the submitter learns
+// from its own fetch_sub whether it is the one that must enqueue. This
+// keeps the hazard phase free of per-dependency atomic RMWs.
+inline constexpr i64 kSubmitGuard = i64{1} << 40;
+
+struct WsTask {
+  std::string name;
+  std::function<void()> fn;
+  int lane = 0;
+  // Worker whose deque/inbox the task was first placed in; a different
+  // executing worker means the task was stolen (trace/stats only).
+  int home_worker = -1;
+  // Last writer of the task's first ReadWrite handle at submit time. By
+  // construction it is a dependency (or already done), so by the time this
+  // task is ready its executed_by is set — that worker is the affinity
+  // target.
+  WsTask* affinity_src = nullptr;
+  WsTask* next_all = nullptr;  // intrusive epoch-ownership list
+  std::atomic<int> executed_by{-1};
+  // Unmet dependency count (guarded, see kSubmitGuard): the task is
+  // enqueued by whoever drops it to zero (the submitter when all deps were
+  // already done, else the last completing dependency).
+  std::atomic<i64> unmet{kSubmitGuard};
+  // done + successors are guarded by succ_lock; completion latches done, so
+  // a racing submit either registers its edge before the latch or observes
+  // done and skips the edge.
+  Spinlock succ_lock;
+  bool done = false;
+  std::vector<WsTask*> successors;
+};
+
+struct WsHandle {
+  WsTask* last_writer = nullptr;
+  std::vector<WsTask*> readers_since_write;
+  std::string debug_name;
+  bool in_use = false;
+};
+
+struct HandleShard {
+  std::mutex mu;
+  std::vector<WsHandle> slots;
+  std::vector<i64> free_indices;  // released slot indices within this shard
+};
+
+struct alignas(64) Worker {
+  WsDeque<WsTask*> lanes[kNumPriorityLanes];
+  std::mutex inbox_mu;
+  std::deque<WsTask*> inbox;           // guarded by inbox_mu
+  std::atomic<i64> inbox_size{0};      // lock-free emptiness peek
+  std::vector<TaskRecord> records;  // merged into the impl at epoch end
+  std::atomic<i64> steals{0};
+  std::thread thread;
+};
+
+class WsImpl;
+
+// Worker identity of the current thread (null/-1 on submitter threads).
+// Keyed by impl pointer so coexisting runtimes never cross wires.
+thread_local WsImpl* tls_impl = nullptr;
+thread_local int tls_worker = -1;
+
+class WsImpl final : public Runtime::Impl {
+ public:
+  WsImpl(u64 uid_arg, int threads, bool trace_on)
+      : Impl(uid_arg, trace_on, SchedulerKind::kWorkSteal),
+        nworkers_(threads) {
+    PARMVN_EXPECTS(threads >= 1);
+    workers_.reserve(static_cast<std::size_t>(threads));
+    for (int w = 0; w < threads; ++w)
+      workers_.push_back(std::make_unique<Worker>());
+    for (int w = 0; w < threads; ++w)
+      workers_[static_cast<std::size_t>(w)]->thread =
+          std::thread([this, w] { worker_loop(w); });
+  }
+
+  ~WsImpl() override {
+    {
+      std::lock_guard<std::mutex> g(idle_mu_);
+      shutting_down_.store(true, std::memory_order_seq_cst);
+    }
+    idle_cv_.notify_all();
+    for (auto& w : workers_) w->thread.join();
+    // Free an epoch that was drained but never wait_all()'d (the facade's
+    // destructor path); workers are gone, so plain teardown is safe.
+    WsTask* head = all_tasks_.exchange(nullptr, std::memory_order_acquire);
+    while (head != nullptr) {
+      WsTask* next = head->next_all;
+      delete head;
+      head = next;
+    }
+  }
+
+  // ---- handle table (sharded) ----
+  DataHandle register_handle(std::string debug_name) override {
+    // Prefer recycling a released slot (scanning shards in a fixed order
+    // keeps id reuse deterministic for a quiescent runtime); only append —
+    // round-robin for balance — when no shard has a free slot.
+    for (int s = 0; s < kShards; ++s) {
+      HandleShard& shard = shards_[s];
+      std::lock_guard<std::mutex> g(shard.mu);
+      if (shard.free_indices.empty()) continue;
+      const i64 index = shard.free_indices.back();
+      shard.free_indices.pop_back();
+      WsHandle& hs = shard.slots[static_cast<std::size_t>(index)];
+      hs.debug_name = std::move(debug_name);
+      hs.in_use = true;
+      return detail::HandleMint::make(index * kShards + s);
+    }
+    const int s = static_cast<int>(
+        next_shard_.fetch_add(1, std::memory_order_relaxed) %
+        static_cast<u64>(kShards));
+    HandleShard& shard = shards_[s];
+    std::lock_guard<std::mutex> g(shard.mu);
+    const i64 index = static_cast<i64>(shard.slots.size());
+    shard.slots.push_back(WsHandle{});
+    WsHandle& hs = shard.slots.back();
+    hs.debug_name = std::move(debug_name);
+    hs.in_use = true;
+    return detail::HandleMint::make(index * kShards + s);
+  }
+
+  void release_handle(DataHandle handle) override {
+    PARMVN_EXPECTS(handle.valid());
+    HandleShard& shard = shards_[shard_of(handle)];
+    std::lock_guard<std::mutex> g(shard.mu);
+    const i64 index = index_of(handle);
+    PARMVN_EXPECTS(index < static_cast<i64>(shard.slots.size()));
+    WsHandle& hs = shard.slots[static_cast<std::size_t>(index)];
+    PARMVN_EXPECTS(hs.in_use);
+    // Releasing a handle the current epoch still references would let a
+    // recycled slot's tasks miss their dependency edges against in-flight
+    // work: reject it here instead of racing later (wait_all() clears these
+    // on epoch completion).
+    PARMVN_EXPECTS(hs.last_writer == nullptr &&
+                   hs.readers_since_write.empty());
+    hs = WsHandle{};
+    shard.free_indices.push_back(index);
+  }
+
+  // ---- submission ----
+  void submit(std::string_view name, std::span<const DataAccess> accesses,
+              std::function<void()> fn, int priority) override {
+    auto node = std::make_unique<WsTask>();
+    if (tracing) node->name.assign(name);
+    node->fn = std::move(fn);
+    node->lane = priority_lane(priority);
+    WsTask* task = node.get();
+
+    // Lock the shards this access list touches, in ascending order.
+    // Holding all of them for the whole hazard phase makes the update
+    // atomic against any overlapping submission (they share a shard), which
+    // is what rules out dependency cycles between concurrent submitters.
+    u64 shard_mask = 0;
+    for (const DataAccess& acc : accesses) {
+      PARMVN_EXPECTS(acc.handle.valid());
+      shard_mask |= u64{1} << shard_of(acc.handle);
+    }
+    std::unique_lock<std::mutex> shard_locks[kShards];
+    for (u64 mset = shard_mask; mset != 0; mset &= mset - 1) {
+      const int s = std::countr_zero(mset);
+      shard_locks[s] = std::unique_lock<std::mutex>(shards_[s].mu);
+    }
+
+    // Validate every access before any bookkeeping: a rejected submission
+    // leaves no phantom task or half-applied hazard state behind.
+    for (const DataAccess& acc : accesses) {
+      HandleShard& shard = shards_[shard_of(acc.handle)];
+      const i64 index = index_of(acc.handle);
+      PARMVN_EXPECTS(index < static_cast<i64>(shard.slots.size()));
+      PARMVN_EXPECTS(shard.slots[static_cast<std::size_t>(index)].in_use);
+    }
+
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    // Publish epoch ownership (lock-free Treiber push; finish_epoch walks
+    // and frees). From here on the node must not be freed on this path.
+    task->next_all = all_tasks_.load(std::memory_order_relaxed);
+    while (!all_tasks_.compare_exchange_weak(task->next_all, task,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed)) {
+    }
+    node.release();
+
+    i64 ndeps = 0;
+    bool have_affinity = false;
+    for (const DataAccess& acc : accesses) {
+      WsHandle& hs = shards_[shard_of(acc.handle)]
+                         .slots[static_cast<std::size_t>(index_of(acc.handle))];
+      switch (acc.mode) {
+        case Access::kRead:
+          ndeps += add_dep(task, hs.last_writer);
+          hs.readers_since_write.push_back(task);
+          break;
+        case Access::kWrite:
+        case Access::kReadWrite:
+          if (!have_affinity) {
+            task->affinity_src = hs.last_writer;  // may be null: no affinity
+            have_affinity = true;
+          }
+          ndeps += add_dep(task, hs.last_writer);
+          for (WsTask* r : hs.readers_since_write)
+            ndeps += add_dep(task, r);
+          hs.readers_since_write.clear();
+          hs.last_writer = task;
+          break;
+      }
+    }
+    for (u64 mset = shard_mask; mset != 0; mset &= mset - 1)
+      shard_locks[std::countr_zero(mset)].unlock();
+
+    // Lift the submission guard, crediting the registered dependencies; if
+    // they all completed already (or there were none) the count lands on
+    // zero and the submitter is the one that enqueues.
+    const i64 prev =
+        task->unmet.fetch_sub(kSubmitGuard - ndeps, std::memory_order_acq_rel);
+    if (prev - (kSubmitGuard - ndeps) == 0) {
+      if (enqueue_ready(task) == Placement::kOwnSurplus) signal_work();
+    }
+  }
+
+  void wait_all() override {
+    {
+      std::unique_lock<std::mutex> lk(done_mu_);
+      done_cv_.wait(lk, [this] {
+        return in_flight_.load(std::memory_order_acquire) == 0;
+      });
+    }
+    finish_epoch();
+  }
+
+  std::exception_ptr drain_pending_error() noexcept override {
+    {
+      std::unique_lock<std::mutex> lk(done_mu_);
+      done_cv_.wait(lk, [this] {
+        return in_flight_.load(std::memory_order_acquire) == 0;
+      });
+    }
+    std::lock_guard<std::mutex> g(error_mu_);
+    return first_error_;
+  }
+
+  [[nodiscard]] int num_threads() const noexcept override {
+    return nworkers_;
+  }
+
+  [[nodiscard]] const std::vector<TaskRecord>& trace() const override {
+    return records_;
+  }
+
+  [[nodiscard]] i64 tasks_stolen() const noexcept override {
+    i64 total = 0;
+    for (const auto& w : workers_)
+      total += w->steals.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  static constexpr int kShards = 16;
+
+  static int shard_of(DataHandle h) noexcept {
+    return static_cast<int>(h.id() % kShards);
+  }
+  static i64 index_of(DataHandle h) noexcept { return h.id() / kShards; }
+
+  // Register `task`'s dependency on `dep` unless dep already completed;
+  // returns the number of edges added (0 or 1) for the submitter's local
+  // dependency count. Caller holds the shard lock of the handle that
+  // produced the edge; the per-task spinlock orders the append against
+  // dep's completion latch.
+  static i64 add_dep(WsTask* task, WsTask* dep) {
+    if (dep == nullptr || dep == task) return 0;
+    SpinlockGuard g(dep->succ_lock);
+    if (dep->done) return 0;
+    dep->successors.push_back(task);
+    return 1;
+  }
+
+  // How a ready task was placed; drives the caller's batched wake decision.
+  enum class Placement {
+    kInbox,       // cross-worker inbox: published (lazily) by this call
+    kOwnFirst,    // own deque, no other task queued there yet
+    kOwnSurplus,  // own deque that already held work — steal-worthy
+  };
+
+  // Place a ready task. Callers batch the wake signal — one signal_work per
+  // completion walk rather than one per successor, and only when the walk
+  // left steal-worthy surplus (a lane that already had work, or two or more
+  // own placements in the same walk, which may land in *different* empty
+  // lanes): a woken worker's own completions signal further, so the pool
+  // ramps up as a cascade without the futex storm of per-task notifies,
+  // which on oversubscribed cores were measurably slower than the work they
+  // recruited.
+  [[nodiscard]] Placement enqueue_ready(WsTask* task) {
+    int target = -1;
+    if (task->affinity_src != nullptr)
+      target = task->affinity_src->executed_by.load(std::memory_order_relaxed);
+    const bool on_worker = tls_impl == this;
+    if (on_worker && (target < 0 || target == tls_worker)) {
+      Worker& me = *workers_[static_cast<std::size_t>(tls_worker)];
+      task->home_worker = tls_worker;
+      const bool surplus = !me.lanes[task->lane].empty_hint();
+      me.lanes[task->lane].push(task);
+      // This worker is awake and drains its own deques before it ever
+      // sleeps, so a single queued task needs no signal — the common
+      // potrf/sweep chains (one completion readies one successor) run
+      // completely futex-free.
+      return surplus ? Placement::kOwnSurplus : Placement::kOwnFirst;
+    }
+    if (target < 0) {
+      target = static_cast<int>(
+          next_inbox_.fetch_add(1, std::memory_order_relaxed) %
+          static_cast<u64>(nworkers_));
+    }
+    task->home_worker = target;
+    Worker& w = *workers_[static_cast<std::size_t>(target)];
+    bool first_pending = false;
+    {
+      std::lock_guard<std::mutex> g(w.inbox_mu);
+      w.inbox.push_back(task);
+      first_pending =
+          w.inbox_size.fetch_add(1, std::memory_order_relaxed) == 0;
+    }
+    // Cross-worker placements publish lazily: the epoch bump keeps "task
+    // exists" visible to every pre-sleep rescan, so an awake worker always
+    // finds it eventually. A wakeup fires only for the *first* pending item
+    // of an inbox (later items ride the drain, which signals surplus) or
+    // when the whole pool sleeps — a burst of external submissions (the
+    // engine's per-round panel inits) costs at most nworkers futexes, not
+    // one per task.
+    ready_epoch_.fetch_add(1, std::memory_order_seq_cst);
+    const int sleepers = num_sleepers_.load(std::memory_order_seq_cst);
+    if ((first_pending && sleepers > 0) || sleepers >= nworkers_) {
+      std::lock_guard<std::mutex> g(idle_mu_);
+      idle_cv_.notify_one();
+    }
+    return Placement::kInbox;
+  }
+
+  // Publish "new work exists" to sleeping workers. The epoch counter and
+  // sleeper count are both seq_cst so the producer/sleeper pair cannot both
+  // miss each other (Dekker-style): a sleeper re-checks the epoch under the
+  // idle mutex after announcing itself, and a producer that saw zero
+  // sleepers is ordered before that announcement — the sleeper's re-check
+  // then sees the bumped epoch and does not sleep.
+  void signal_work() {
+    ready_epoch_.fetch_add(1, std::memory_order_seq_cst);
+    if (num_sleepers_.load(std::memory_order_seq_cst) > 0) {
+      std::lock_guard<std::mutex> g(idle_mu_);
+      idle_cv_.notify_one();
+    }
+  }
+
+  WsTask* find_task(Worker& me, int wid, u64& steal_cursor) {
+    // 1. Inbox first: affinity placements targeted at this worker. Drain
+    //    everything into the own lanes so priority ordering applies —
+    //    pushed in reverse so the LIFO pop returns arrivals in submission
+    //    order (tasks spawned *after* the drain still pop first, keeping
+    //    chains depth-first). Without the reversal a burst of root tasks
+    //    runs back to front, and every producer→consumer pair (panel init →
+    //    QMC sweep) ends up separated by the whole burst — measurably
+    //    colder caches than the global arm's FIFO order.
+    if (me.inbox_size.load(std::memory_order_relaxed) > 0) {
+      std::deque<WsTask*> drained;
+      {
+        std::lock_guard<std::mutex> g(me.inbox_mu);
+        drained.swap(me.inbox);
+        me.inbox_size.store(0, std::memory_order_relaxed);
+      }
+      for (auto it = drained.rbegin(); it != drained.rend(); ++it)
+        me.lanes[(*it)->lane].push(*it);
+      // Inbox placements are published lazily; the drain is where surplus
+      // becomes visible in stealable lanes, so recruit help here (this
+      // worker is about to run the first one itself).
+      if (drained.size() > 1) signal_work();
+    }
+    // 2. Own deques, highest lane first, newest first.
+    for (int lane = kNumPriorityLanes - 1; lane >= 0; --lane)
+      if (WsTask* t = me.lanes[lane].pop()) return t;
+    // 3. One stealing sweep over the other workers, round-robin start:
+    //    victims' lanes highest-first (critical path first), then their
+    //    inboxes (work parked for a busy owner is better run remotely than
+    //    left waiting).
+    // The sweep must visit every other worker exactly once — a skipped
+    // victim could hold the epoch's last ready task while everyone sleeps.
+    const u64 start = static_cast<u64>(wid) + 1 + steal_cursor;
+    for (int k = 0; k < nworkers_; ++k) {
+      const int v = static_cast<int>((start + static_cast<u64>(k)) %
+                                     static_cast<u64>(nworkers_));
+      if (v == wid) continue;
+      Worker& victim = *workers_[static_cast<std::size_t>(v)];
+      for (int lane = kNumPriorityLanes - 1; lane >= 0; --lane) {
+        if (WsTask* t = victim.lanes[lane].steal()) {
+          steal_cursor += static_cast<u64>(k);
+          me.steals.fetch_add(1, std::memory_order_relaxed);
+          return t;
+        }
+      }
+      if (victim.inbox_size.load(std::memory_order_relaxed) > 0) {
+        std::lock_guard<std::mutex> g(victim.inbox_mu);
+        if (!victim.inbox.empty()) {
+          WsTask* t = victim.inbox.front();
+          victim.inbox.pop_front();
+          victim.inbox_size.fetch_sub(1, std::memory_order_relaxed);
+          steal_cursor += static_cast<u64>(k);
+          me.steals.fetch_add(1, std::memory_order_relaxed);
+          return t;
+        }
+      }
+    }
+    return nullptr;
+  }
+
+  void execute(WsTask* task, Worker& me, int wid) {
+    const bool skip = cancelled_.load(std::memory_order_acquire);
+    const double t0 = tracing ? global_time_s() : 0.0;
+    std::exception_ptr err;
+    if (!skip) {
+      try {
+        task->fn();
+      } catch (...) {
+        err = std::current_exception();
+      }
+    }
+    const double t1 = tracing ? global_time_s() : 0.0;
+    if (tracing)
+      me.records.push_back(
+          {task->name, wid, t0, t1, /*stolen=*/task->home_worker != wid});
+    if (err) {
+      std::lock_guard<std::mutex> g(error_mu_);
+      if (!first_error_) {
+        first_error_ = err;
+        // Ordered before the successor walk below: every task that becomes
+        // ready because of this completion already observes the flag.
+        cancelled_.store(true, std::memory_order_release);
+      }
+    }
+    task->executed_by.store(wid, std::memory_order_relaxed);
+    {
+      SpinlockGuard g(task->succ_lock);
+      task->done = true;
+    }
+    // Safe to walk without the lock: submitters only append while !done
+    // (checked under succ_lock), so the latch above freezes the list.
+    bool want_signal = false;
+    int own_placements = 0;
+    for (WsTask* s : task->successors) {
+      if (s->unmet.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        const Placement p = enqueue_ready(s);
+        want_signal |= p == Placement::kOwnSurplus;
+        own_placements += p != Placement::kInbox;
+      }
+    }
+    // Two own placements are surplus even when each landed in an empty
+    // *different* lane — this worker can only run one next.
+    if (want_signal || own_placements >= 2) signal_work();
+    executed.fetch_add(1, std::memory_order_relaxed);
+    if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> g(done_mu_);
+      done_cv_.notify_all();
+    }
+  }
+
+  void worker_loop(int wid) {
+    tls_impl = this;
+    tls_worker = wid;
+    Worker& me = *workers_[static_cast<std::size_t>(wid)];
+    u64 steal_cursor = 0;
+    for (;;) {
+      if (WsTask* t = find_task(me, wid, steal_cursor)) {
+        execute(t, me, wid);
+        continue;
+      }
+      // Idle path: snapshot the epoch, announce ourselves as a sleeper,
+      // re-scan once (a task published after the snapshot bumps the epoch
+      // and the wait predicate catches it), then sleep.
+      const i64 e = ready_epoch_.load(std::memory_order_seq_cst);
+      if (shutting_down_.load(std::memory_order_seq_cst)) return;
+      num_sleepers_.fetch_add(1, std::memory_order_seq_cst);
+      if (WsTask* t = find_task(me, wid, steal_cursor)) {
+        num_sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+        execute(t, me, wid);
+        continue;
+      }
+      {
+        std::unique_lock<std::mutex> lk(idle_mu_);
+        idle_cv_.wait(lk, [&] {
+          return shutting_down_.load(std::memory_order_seq_cst) ||
+                 ready_epoch_.load(std::memory_order_seq_cst) != e;
+        });
+      }
+      num_sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+    }
+  }
+
+  void finish_epoch() {
+    // in_flight == 0: every submitted task has fully completed (records
+    // written, successors walked), workers at most scan empty deques.
+    // Hazard state is cleared *before* the nodes are freed so no shard ever
+    // exposes a dangling last_writer to a concurrent release_data().
+    for (HandleShard& shard : shards_) {
+      std::lock_guard<std::mutex> g(shard.mu);
+      for (WsHandle& hs : shard.slots) {
+        hs.last_writer = nullptr;
+        hs.readers_since_write.clear();
+      }
+    }
+    WsTask* head = all_tasks_.exchange(nullptr, std::memory_order_acquire);
+    while (head != nullptr) {
+      WsTask* next = head->next_all;
+      delete head;
+      head = next;
+    }
+    if (tracing) {
+      const auto by_start = [](const TaskRecord& a, const TaskRecord& b) {
+        return a.start_s < b.start_s;
+      };
+      // Sort only this epoch's tail, then merge — earlier epochs are
+      // already ordered, and re-sorting the whole history would make a
+      // traced many-epoch run (one wait_all per engine sweep round)
+      // quadratic in total record count.
+      const std::ptrdiff_t prior = static_cast<std::ptrdiff_t>(records_.size());
+      for (auto& w : workers_) {
+        records_.insert(records_.end(), w->records.begin(), w->records.end());
+        w->records.clear();
+      }
+      const auto mid = records_.begin() + prior;
+      std::stable_sort(mid, records_.end(), by_start);
+      std::inplace_merge(records_.begin(), mid, records_.end(), by_start);
+    }
+    std::unique_lock<std::mutex> g(error_mu_);
+    if (first_error_) {
+      std::exception_ptr err = first_error_;
+      first_error_ = nullptr;
+      cancelled_.store(false, std::memory_order_relaxed);
+      g.unlock();
+      std::rethrow_exception(err);
+    }
+    cancelled_.store(false, std::memory_order_relaxed);
+  }
+
+  const int nworkers_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  HandleShard shards_[kShards];
+  std::atomic<u64> next_shard_{0};  // append balancing for register_handle
+  std::atomic<u64> next_inbox_{0};  // round-robin for external submitters
+
+  // Epoch task ownership: lock-free intrusive stack (freed in finish_epoch).
+  std::atomic<WsTask*> all_tasks_{nullptr};
+
+  std::atomic<i64> in_flight_{0};
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::atomic<i64> ready_epoch_{0};
+  std::atomic<int> num_sleepers_{0};
+  std::atomic<bool> shutting_down_{false};
+
+  std::mutex error_mu_;
+  std::exception_ptr first_error_;
+  std::atomic<bool> cancelled_{false};
+
+  std::vector<TaskRecord> records_;  // merged at epoch end
+};
+
+}  // namespace
+
+std::unique_ptr<Runtime::Impl> make_worksteal_impl(u64 uid, int threads,
+                                                   bool tracing) {
+  return std::make_unique<WsImpl>(uid, threads, tracing);
+}
+
+}  // namespace parmvn::rt

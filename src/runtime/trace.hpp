@@ -11,6 +11,10 @@ struct TaskRecord {
   int worker = -1;
   double start_s = 0.0;
   double end_s = 0.0;
+  // Work-stealing arm: true when the task ran on a worker other than the
+  // one whose deque/inbox it was first placed in (always false on the
+  // global-queue arm, which has no task placement).
+  bool stolen = false;
 };
 
 /// Write records as a Chrome `chrome://tracing` / Perfetto JSON file.

@@ -3,6 +3,7 @@
 #include "common/contracts.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/potrf.hpp"
+#include "runtime/priority.hpp"
 
 namespace parmvn::tile {
 
@@ -10,13 +11,15 @@ void potrf_tiled(rt::Runtime& rt, TileMatrix& a) {
   PARMVN_EXPECTS(a.layout() == Layout::kLowerSymmetric);
   const i64 nt = a.row_tiles();
 
-  // Priorities mirror Chameleon's hints: the critical path (POTRF, then the
-  // TRSMs of the current panel) outranks trailing updates so the panel is
-  // released as early as possible.
+  // Priorities follow the ladder in runtime/priority.hpp (Chameleon-style
+  // hints): the critical path of panel k runs through TRSM(k+1,k) and
+  // SYRK(k+1,k+1) into POTRF(k+1), so those two get panel priority along
+  // with POTRF itself; GEMMs writing column k+1 feed the next panel's
+  // TRSMs and outrank the far trailing updates.
   for (i64 k = 0; k < nt; ++k) {
     la::MatrixView akk = a.tile(k, k);
     rt.submit("potrf", {{a.handle(k, k), rt::Access::kReadWrite}},
-              [akk] { la::potrf_lower_or_throw(akk); }, /*priority=*/3);
+              [akk] { la::potrf_lower_or_throw(akk); }, rt::kPrioPanel);
 
     for (i64 i = k + 1; i < nt; ++i) {
       la::ConstMatrixView lkk = a.tile(k, k);
@@ -27,7 +30,7 @@ void potrf_tiled(rt::Runtime& rt, TileMatrix& a) {
                 [lkk, aik] {
                   la::trsm(la::Side::kRight, la::Trans::kYes, 1.0, lkk, aik);
                 },
-                /*priority=*/2);
+                i == k + 1 ? rt::kPrioPanel : rt::kPrioSweep);
     }
 
     for (i64 i = k + 1; i < nt; ++i) {
@@ -38,7 +41,7 @@ void potrf_tiled(rt::Runtime& rt, TileMatrix& a) {
                 {{a.handle(i, k), rt::Access::kRead},
                  {a.handle(i, i), rt::Access::kReadWrite}},
                 [aik, aii] { la::syrk(la::Trans::kNo, -1.0, aik, 1.0, aii); },
-                /*priority=*/1);
+                i == k + 1 ? rt::kPrioPanel : rt::kPrioUpdate);
       // Off-diagonal updates: GEMM.
       for (i64 j = k + 1; j < i; ++j) {
         la::ConstMatrixView ajk = a.tile(j, k);
@@ -51,7 +54,7 @@ void potrf_tiled(rt::Runtime& rt, TileMatrix& a) {
                     la::gemm(la::Trans::kNo, la::Trans::kYes, -1.0, aik, ajk,
                              1.0, aij);
                   },
-                  /*priority=*/1);
+                  j == k + 1 ? rt::kPrioUpdate : rt::kPrioBulk);
       }
     }
   }

@@ -6,6 +6,7 @@
 #include "common/contracts.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/potrf.hpp"
+#include "runtime/priority.hpp"
 
 namespace parmvn::tlr {
 
@@ -21,7 +22,7 @@ void potrf_tlr_attempt(rt::Runtime& rt, TlrMatrix& a) {
     // POTRF on the dense diagonal tile.
     la::MatrixView dkk = a.diag(k);
     rt.submit("tlr_potrf", {{a.diag_handle(k), rt::Access::kReadWrite}},
-              [dkk] { la::potrf_lower_or_throw(dkk); }, /*priority=*/3);
+              [dkk] { la::potrf_lower_or_throw(dkk); }, rt::kPrioPanel);
 
     // TRSM on the V factor of every tile below the pivot:
     // A_ik L_kk^-T = U_ik (L_kk^-1 V_ik)^T  =>  V <- L_kk^-1 V.
@@ -35,7 +36,7 @@ void potrf_tlr_attempt(rt::Runtime& rt, TlrMatrix& a) {
                   la::trsm(la::Side::kLeft, la::Trans::kNo, 1.0, lkk,
                            tik->v.view());
                 },
-                /*priority=*/2);
+                i == k + 1 ? rt::kPrioPanel : rt::kPrioSweep);
     }
 
     for (i64 i = k + 1; i < nt; ++i) {
@@ -57,7 +58,7 @@ void potrf_tlr_attempt(rt::Runtime& rt, TlrMatrix& a) {
                   la::gemm(la::Trans::kNo, la::Trans::kYes, -1.0, w.view(),
                            tik->u.view(), 1.0, dii);
                 },
-                /*priority=*/1);
+                i == k + 1 ? rt::kPrioPanel : rt::kPrioUpdate);
 
       // Off-diagonal updates:
       // A_ij -= A_ik A_jk^T = U_i (V_i^T V_j) U_j^T, then recompress.
@@ -80,7 +81,7 @@ void potrf_tlr_attempt(rt::Runtime& rt, TlrMatrix& a) {
                     add_lowrank_inplace(*tij, -1.0, unew.view(),
                                         tjk->u.view(), tol, cap);
                   },
-                  /*priority=*/1);
+                  j == k + 1 ? rt::kPrioUpdate : rt::kPrioBulk);
       }
     }
   }

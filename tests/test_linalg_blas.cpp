@@ -8,6 +8,7 @@
 
 #include "linalg/blas.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/microkernel.hpp"
 #include "stats/rng.hpp"
 
 namespace {
@@ -420,6 +421,38 @@ TEST(MatrixViews, TransposeInto) {
 }  // namespace
 
 namespace {
+
+TEST(GemmParallelPack, BitwiseEqualToSerialPack) {
+  // Large single GEMMs split their panel packing across the shared helper
+  // pool; the packed buffers — and therefore every C entry — must be
+  // byte-identical to the serial pack. m*k = 360000 clears the parallel
+  // gate; kc*nc of the B panel clears the per-pack gate.
+  using namespace parmvn;
+  using la::Matrix;
+  const i64 m = 600, k = 600, n = 300;
+  stats::Xoshiro256pp g(20240625);
+  Matrix a(m, k), b(k, n);
+  for (i64 j = 0; j < k; ++j)
+    for (i64 i = 0; i < m; ++i) a(i, j) = g.next_normal();
+  for (i64 j = 0; j < n; ++j)
+    for (i64 i = 0; i < k; ++i) b(i, j) = g.next_normal();
+
+  la::detail::set_pack_helpers(3);
+  ASSERT_EQ(la::detail::pack_helpers(), 3);
+  Matrix c_par(m, n);
+  la::gemm(la::Trans::kNo, la::Trans::kNo, 1.0, a.view(), b.view(), 0.0,
+           c_par.view());
+
+  la::detail::set_pack_helpers(0);  // force the serial pack path
+  Matrix c_ser(m, n);
+  la::gemm(la::Trans::kNo, la::Trans::kNo, 1.0, a.view(), b.view(), 0.0,
+           c_ser.view());
+  la::detail::set_pack_helpers(-1);  // restore default sizing
+
+  for (i64 j = 0; j < n; ++j)
+    for (i64 i = 0; i < m; ++i)
+      ASSERT_EQ(c_par(i, j), c_ser(i, j)) << "(" << i << "," << j << ")";
+}
 
 TEST(TrmmLower, IgnoresGarbageUpperTriangle) {
   using namespace parmvn;

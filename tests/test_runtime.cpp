@@ -2,10 +2,15 @@
 // consistency under concurrency, error cancellation, tracing, inline mode.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <bit>
 #include <cmath>
+#include <cstdlib>
 #include <mutex>
 #include <numeric>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/contracts.hpp"
@@ -324,6 +329,337 @@ TEST(Runtime, PriorityDoesNotBreakCorrectness) {
   rt.wait_all();
   // Dependencies force submission order regardless of priorities.
   for (int i = 0; i < 20; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+// ---- scheduler arms ----
+
+using rt::SchedulerKind;
+
+constexpr SchedulerKind kArms[] = {SchedulerKind::kWorkSteal,
+                                   SchedulerKind::kGlobalQueue};
+
+const char* arm_name(SchedulerKind k) {
+  return k == SchedulerKind::kWorkSteal ? "worksteal" : "global";
+}
+
+TEST(Runtime, SchedulerKindExplicitSelection) {
+  Runtime ws(2, false, SchedulerKind::kWorkSteal);
+  EXPECT_EQ(ws.scheduler(), SchedulerKind::kWorkSteal);
+  Runtime gq(2, false, SchedulerKind::kGlobalQueue);
+  EXPECT_EQ(gq.scheduler(), SchedulerKind::kGlobalQueue);
+  EXPECT_EQ(gq.tasks_stolen(), 0) << "the global queue has no steal path";
+
+  // Both arms execute the same trivial graph.
+  for (Runtime* rt : {&ws, &gq}) {
+    auto h = rt->register_data();
+    int x = 0;
+    rt->submit("w", {{h, Access::kWrite}}, [&] { x = 1; });
+    rt->submit("rw", {{h, Access::kReadWrite}}, [&] { x += 1; });
+    rt->wait_all();
+    EXPECT_EQ(x, 2);
+  }
+}
+
+TEST(Runtime, SchedulerEnvGlobalSelection) {
+  // Preserve the inherited value: CI's PARMVN_SCHED_GLOBAL=1 pass relies on
+  // later kDefault-constructed runtimes still seeing it.
+  const char* inherited = ::getenv("PARMVN_SCHED_GLOBAL");
+  const std::string saved = inherited != nullptr ? inherited : "";
+
+  // kDefault consults PARMVN_SCHED_GLOBAL at construction time.
+  ::setenv("PARMVN_SCHED_GLOBAL", "1", 1);
+  {
+    Runtime rt(1);
+    EXPECT_EQ(rt.scheduler(), SchedulerKind::kGlobalQueue);
+  }
+  ::unsetenv("PARMVN_SCHED_GLOBAL");
+  {
+    Runtime rt(1);
+    EXPECT_EQ(rt.scheduler(), SchedulerKind::kWorkSteal);
+  }
+  // An explicit kind overrides the environment.
+  ::setenv("PARMVN_SCHED_GLOBAL", "1", 1);
+  {
+    Runtime rt(1, false, SchedulerKind::kWorkSteal);
+    EXPECT_EQ(rt.scheduler(), SchedulerKind::kWorkSteal);
+  }
+
+  if (inherited != nullptr) {
+    ::setenv("PARMVN_SCHED_GLOBAL", saved.c_str(), 1);
+  } else {
+    ::unsetenv("PARMVN_SCHED_GLOBAL");
+  }
+}
+
+// ---- scheduler stress suite ----
+//
+// Exercised against both arms: the work-stealing scheduler (per-worker
+// deques, atomic dependency counts, sharded submit path) and the frozen
+// single-lock baseline. TSan runs this suite in CI for both (the
+// RelWithDebInfo+TSan job repeats it with PARMVN_SCHED_GLOBAL=1).
+
+// One generated random-DAG "program", replayable on any runtime: kTasks
+// tasks over kHandles cells, each ReadWrite on one handle plus up to two
+// Reads, with priorities outside the named ladder to exercise clamping.
+struct DagOp {
+  int dst;
+  int src1;  // -1 = none
+  int src2;
+  int prio;
+  int expect_v1;  // writer count of src1 at submission = version a Read sees
+  int expect_v2;
+};
+
+std::vector<DagOp> make_dag(int handles, int tasks, u64 seed) {
+  stats::Xoshiro256pp g(seed);
+  std::vector<int> writers(static_cast<std::size_t>(handles), 0);
+  std::vector<DagOp> ops;
+  ops.reserve(static_cast<std::size_t>(tasks));
+  for (int t = 0; t < tasks; ++t) {
+    DagOp op;
+    op.dst = static_cast<int>(g.next() % static_cast<u64>(handles));
+    op.src1 = static_cast<int>(g.next() % static_cast<u64>(handles));
+    op.src2 = static_cast<int>(g.next() % static_cast<u64>(handles));
+    if (op.src1 == op.dst) op.src1 = -1;
+    if (op.src2 == op.dst || op.src2 == op.src1) op.src2 = -1;
+    op.prio = static_cast<int>(g.next() % 9) - 2;  // [-2, 6]: clamps both ends
+    op.expect_v1 =
+        op.src1 >= 0 ? writers[static_cast<std::size_t>(op.src1)] : -1;
+    op.expect_v2 =
+        op.src2 >= 0 ? writers[static_cast<std::size_t>(op.src2)] : -1;
+    ++writers[static_cast<std::size_t>(op.dst)];
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+// Sequential consistency per handle, checked exactly: every ReadWrite task
+// appends its id to its handle's log (the RW exclusivity the runtime
+// promises is what makes the plain push_back legal — TSan enforces it), and
+// every Read records the handle's version counter, which must equal the
+// number of writers submitted before it.
+void run_seqcst_dag(SchedulerKind arm, int workers, int handles, int tasks,
+                    u64 seed) {
+  const std::vector<DagOp> ops = make_dag(handles, tasks, seed);
+  Runtime rt(workers, false, arm);
+  std::vector<DataHandle> hs;
+  for (int i = 0; i < handles; ++i) hs.push_back(rt.register_data());
+  std::vector<std::vector<int>> log(static_cast<std::size_t>(handles));
+  std::vector<int> version(static_cast<std::size_t>(handles), 0);
+  std::vector<std::array<int, 2>> seen(static_cast<std::size_t>(tasks),
+                                       {-1, -1});
+  for (int t = 0; t < tasks; ++t) {
+    const DagOp& op = ops[static_cast<std::size_t>(t)];
+    std::vector<rt::DataAccess> acc{
+        {hs[static_cast<std::size_t>(op.dst)], Access::kReadWrite}};
+    if (op.src1 >= 0)
+      acc.push_back({hs[static_cast<std::size_t>(op.src1)], Access::kRead});
+    if (op.src2 >= 0)
+      acc.push_back({hs[static_cast<std::size_t>(op.src2)], Access::kRead});
+    rt.submit("dag", acc,
+              [&log, &version, &seen, op, t] {
+                if (op.src1 >= 0)
+                  seen[static_cast<std::size_t>(t)][0] =
+                      version[static_cast<std::size_t>(op.src1)];
+                if (op.src2 >= 0)
+                  seen[static_cast<std::size_t>(t)][1] =
+                      version[static_cast<std::size_t>(op.src2)];
+                log[static_cast<std::size_t>(op.dst)].push_back(t);
+                ++version[static_cast<std::size_t>(op.dst)];
+              },
+              op.prio);
+  }
+  rt.wait_all();
+
+  // Per-handle RW order == submission order.
+  std::vector<std::vector<int>> expected(static_cast<std::size_t>(handles));
+  for (int t = 0; t < tasks; ++t)
+    expected[static_cast<std::size_t>(ops[static_cast<std::size_t>(t)].dst)]
+        .push_back(t);
+  for (int h = 0; h < handles; ++h)
+    ASSERT_EQ(log[static_cast<std::size_t>(h)],
+              expected[static_cast<std::size_t>(h)])
+        << arm_name(arm) << " workers=" << workers << " handle=" << h;
+  // Every Read saw exactly the writes submitted before it (RAW + WAR).
+  for (int t = 0; t < tasks; ++t) {
+    const DagOp& op = ops[static_cast<std::size_t>(t)];
+    EXPECT_EQ(seen[static_cast<std::size_t>(t)][0], op.expect_v1)
+        << arm_name(arm) << " workers=" << workers << " task=" << t;
+    EXPECT_EQ(seen[static_cast<std::size_t>(t)][1], op.expect_v2)
+        << arm_name(arm) << " workers=" << workers << " task=" << t;
+  }
+}
+
+TEST(RuntimeStress, RandomDagSequentialConsistencyPerHandle) {
+  for (SchedulerKind arm : kArms)
+    for (int workers : {2, 8})
+      run_seqcst_dag(arm, workers, /*handles=*/40, /*tasks=*/10000,
+                     /*seed=*/20240624);
+}
+
+double run_priority_program(SchedulerKind arm, int workers, u64 seed) {
+  constexpr int kCells = 24;
+  constexpr int kTasks = 10000;
+  Runtime rt(workers, false, arm);
+  std::vector<DataHandle> handles;
+  std::vector<double> cells(kCells);
+  for (int i = 0; i < kCells; ++i) {
+    handles.push_back(rt.register_data());
+    cells[static_cast<std::size_t>(i)] = i + 1;
+  }
+  stats::Xoshiro256pp g(seed);
+  for (int t = 0; t < kTasks; ++t) {
+    const int dst = static_cast<int>(g.next() % kCells);
+    const int src = static_cast<int>(g.next() % kCells);
+    const double coef = g.next_u01();
+    const int prio = static_cast<int>(g.next() % 5);
+    std::vector<rt::DataAccess> acc{{handles[static_cast<std::size_t>(dst)],
+                                     Access::kReadWrite}};
+    if (src != dst)
+      acc.push_back({handles[static_cast<std::size_t>(src)], Access::kRead});
+    rt.submit("mix", acc,
+              [&cells, dst, src, coef] {
+                const double a = cells[static_cast<std::size_t>(src)];
+                double& d = cells[static_cast<std::size_t>(dst)];
+                d = 0.5 * d + coef * std::sin(a) + (1.0 - coef) * std::cos(a);
+              },
+              prio);
+  }
+  rt.wait_all();
+  double checksum = 0.0;
+  for (double v : cells) checksum += v;
+  return checksum;
+}
+
+TEST(RuntimeStress, RepeatRunsBitwiseAcrossArmsAndWorkerCounts) {
+  // The scheduler decides only *when* a task runs; arithmetic must be
+  // *bitwise* identical across arms, worker counts and repeat runs (the
+  // contract test_determinism enforces for the PMVN pipelines, here on a
+  // 10k-task adversarial DAG with mixed priorities). Compared as bit
+  // patterns: EXPECT_DOUBLE_EQ's 4-ULP band would let a sub-ULP
+  // reassociation bug through.
+  const auto bits = [](double v) { return std::bit_cast<u64>(v); };
+  const u64 seed = 99;
+  const double reference = run_priority_program(SchedulerKind::kWorkSteal,
+                                                /*workers=*/0, seed);
+  for (SchedulerKind arm : kArms) {
+    for (int workers : {2, 8}) {
+      EXPECT_EQ(bits(run_priority_program(arm, workers, seed)),
+                bits(reference))
+          << arm_name(arm) << " workers=" << workers;
+    }
+  }
+  EXPECT_EQ(bits(run_priority_program(SchedulerKind::kWorkSteal, 8, seed)),
+            bits(reference))
+      << "repeat run drifted";
+}
+
+TEST(RuntimeStress, StealPathExceptionCancellation) {
+  // A failing task must cancel its not-yet-started dependents on every
+  // arm, including when the failure and the dependents cross steal paths.
+  // Independent fodder tasks keep all 8 workers stealing while the error
+  // propagates; repeats vary the interleaving.
+  for (SchedulerKind arm : kArms) {
+    for (int rep = 0; rep < 10; ++rep) {
+      Runtime rt(8, false, arm);
+      auto h = rt.register_data();
+      std::vector<DataHandle> fodder;
+      for (int i = 0; i < 16; ++i) fodder.push_back(rt.register_data());
+      std::atomic<int> chain_ran{0};
+      for (int i = 0; i < 64; ++i) {
+        rt.submit("fodder",
+                  {{fodder[static_cast<std::size_t>(i % 16)],
+                    Access::kReadWrite}},
+                  [] {});
+      }
+      rt.submit("boom", {{h, Access::kWrite}},
+                [] { throw Error("stress boom"); });
+      for (int i = 0; i < 100; ++i) {
+        rt.submit("after", {{h, Access::kReadWrite}},
+                  [&] { chain_ran.fetch_add(1); });
+      }
+      EXPECT_THROW(rt.wait_all(), Error) << arm_name(arm) << " rep=" << rep;
+      EXPECT_EQ(chain_ran.load(), 0)
+          << arm_name(arm) << " rep=" << rep
+          << ": dependents of the failing task must be cancelled";
+      // The runtime stays usable after the error epoch.
+      int ok = 0;
+      rt.submit("ok", {{h, Access::kWrite}}, [&] { ok = 1; });
+      rt.wait_all();
+      EXPECT_EQ(ok, 1);
+    }
+  }
+}
+
+TEST(RuntimeStress, ReleaseDataUnderConcurrentStealing) {
+  // Engine-style round pattern at full worker churn: register transient
+  // handles, run a graph over transient + persistent data, wait, release —
+  // while a second submitter thread churns register/release on its own
+  // handles (the sharded handle table must isolate the two).
+  for (SchedulerKind arm : kArms) {
+    Runtime rt(8, false, arm);
+    std::vector<DataHandle> persistent;
+    for (int i = 0; i < 4; ++i) persistent.push_back(rt.register_data());
+
+    std::atomic<bool> stop{false};
+    std::thread churn([&] {
+      while (!stop.load()) {
+        std::vector<DataHandle> own;
+        for (int i = 0; i < 6; ++i) own.push_back(rt.register_data("churn"));
+        for (const DataHandle h : own) rt.release_data(h);
+      }
+    });
+
+    std::atomic<i64> total{0};
+    for (int round = 0; round < 60; ++round) {
+      std::vector<DataHandle> transient;
+      for (int i = 0; i < 8; ++i)
+        transient.push_back(rt.register_data("round"));
+      for (int t = 0; t < 80; ++t) {
+        const DataHandle h = (t % 3 == 0)
+                                 ? persistent[static_cast<std::size_t>(t % 4)]
+                                 : transient[static_cast<std::size_t>(t % 8)];
+        rt.submit("work", {{h, Access::kReadWrite}},
+                  [&] { total.fetch_add(1); });
+      }
+      rt.wait_all();
+      for (const DataHandle h : transient) rt.release_data(h);
+    }
+    stop.store(true);
+    churn.join();
+    EXPECT_EQ(total.load(), 60 * 80) << arm_name(arm);
+    // Transient slots were recycled, not appended: the id space stays
+    // bounded by the peak number of simultaneously live handles (~20, times
+    // the sharded table's id stride), nowhere near the 480 transients the
+    // rounds would have appended without recycling.
+    const DataHandle after = rt.register_data();
+    EXPECT_LE(after.id(), 255) << arm_name(arm);
+    rt.release_data(after);
+  }
+}
+
+TEST(RuntimeStress, TraceRecordsStealsOnWorkStealArm) {
+  // A wide independent graph on the work-stealing arm: every task is
+  // recorded exactly once whether it ran at home or was stolen, and the
+  // summary exposes the steal column.
+  Runtime rt(4, /*enable_trace=*/true, SchedulerKind::kWorkSteal);
+  std::vector<DataHandle> hs;
+  for (int i = 0; i < 200; ++i) hs.push_back(rt.register_data());
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 200; ++i) {
+    rt.submit("wide", {{hs[static_cast<std::size_t>(i)], Access::kWrite}},
+              [&] { ran.fetch_add(1); });
+  }
+  rt.wait_all();
+  EXPECT_EQ(ran.load(), 200);
+  ASSERT_EQ(rt.trace().size(), 200u);
+  i64 stolen_records = 0;
+  for (const auto& rec : rt.trace()) {
+    EXPECT_GE(rec.worker, 0);
+    if (rec.stolen) ++stolen_records;
+  }
+  EXPECT_EQ(stolen_records, rt.tasks_stolen());
+  EXPECT_NE(rt::summarize_trace(rt.trace()).find("stolen"), std::string::npos);
 }
 
 }  // namespace
