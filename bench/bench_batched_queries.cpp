@@ -11,10 +11,19 @@
 // factorizations. Expectation: 16 batched thresholds land well under 3x the
 // single-query time at n >= 2048, against ~16x for the loop.
 //
+// An adaptive-vs-fixed sweep rides along: the same 16 thresholds evaluated
+// with the error-budget-adaptive engine (decision stop at 1-alpha plus an
+// abs_tol fallback) against the fixed-budget sweep, checking the detected
+// regions match and reporting per-query sample savings. `--json` emits just
+// that sweep for BENCH_adaptive.json at the repo root (regenerate with:
+// ./bench_batched_queries --json > ../BENCH_adaptive.json ).
+//
 // Build & run:  ./build/bench/bench_batched_queries [--quick|--full]
-//               [--threads=N]
+//               [--threads=N] [--json]
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -59,13 +68,103 @@ std::vector<core::CrdQuery> threshold_queries(i64 count) {
   return queries;
 }
 
+// Field for the adaptive-vs-fixed sweep: a high plateau over a deep
+// background, so the prefix-probability curve jumps across the 1-alpha
+// level between adjacent rows instead of grazing it. Decision-aware early
+// stop retires exactly such decisive queries; rows whose interval straddles
+// the level run to the cap by design (that is the no-flip guarantee), which
+// the gradual bump field above would force on every threshold.
+std::vector<double> plateau_mean(const geo::LocationSet& locs) {
+  std::vector<double> mean(locs.size());
+  for (std::size_t i = 0; i < locs.size(); ++i) {
+    const double dx = locs[i].x - 0.35;
+    const double dy = locs[i].y - 0.6;
+    const bool high = dx * dx + dy * dy < 0.0144;
+    mean[i] = (high ? 4.1 : -0.8) + 1e-4 * static_cast<double>(i % 101);
+  }
+  return mean;
+}
+
+struct AdaptiveRow {
+  double threshold = 0.0;
+  i64 fixed_samples = 0;
+  i64 adaptive_samples = 0;
+  bool converged = false;
+  bool region_match = false;
+};
+
+// Adaptive-vs-fixed sweep over `k` thresholds: same seed, same shift-budget
+// cap; the adaptive run may only stop early, never change the answer.
+struct AdaptiveSweep {
+  std::vector<AdaptiveRow> rows;
+  double fixed_s = 0.0;
+  double adaptive_s = 0.0;
+  double median_ratio = 1.0;
+};
+
+AdaptiveSweep run_adaptive_sweep(rt::Runtime& rt,
+                                 const la::MatrixGenerator& cov,
+                                 const geo::LocationSet& locs,
+                                 const core::CrdOptions& base, i64 k) {
+  const std::vector<core::CrdQuery> queries = threshold_queries(k);
+  const std::vector<double> mean = plateau_mean(locs);
+
+  // A budget sized so the error actually resolves the decision: the rows
+  // straddling the 1-alpha level need err3sigma ~ 1e-2 before either the
+  // decision clearance or the abs_tol fallback can retire them, and the
+  // adaptive loop retires per shift block — 16 blocks give stop-granularity
+  // headroom at the same total budget.
+  core::CrdOptions fixed = base;
+  fixed.pmvn.samples_per_shift = 50;
+  fixed.pmvn.shifts = 16;
+
+  core::CrdOptions adaptive = fixed;
+  adaptive.pmvn.adaptive = true;
+  adaptive.pmvn.abs_tol = 0.0;  // decision-only: ambiguous rows run to the cap
+
+  AdaptiveSweep sweep;
+  {
+    engine::FactorCache cache(2);
+    const WallTimer timer;
+    const std::vector<core::CrdResult> res =
+        core::detect_confidence_regions(rt, cov, mean, fixed, queries, &cache);
+    sweep.fixed_s = timer.seconds();
+    sweep.rows.resize(res.size());
+    for (std::size_t i = 0; i < res.size(); ++i) {
+      sweep.rows[i].threshold = queries[i].threshold;
+      sweep.rows[i].fixed_samples = res[i].samples_used;
+    }
+    const WallTimer ada_timer;
+    const std::vector<core::CrdResult> ares = core::detect_confidence_regions(
+        rt, cov, mean, adaptive, queries, &cache);
+    sweep.adaptive_s = ada_timer.seconds();
+    for (std::size_t i = 0; i < ares.size(); ++i) {
+      sweep.rows[i].adaptive_samples = ares[i].samples_used;
+      sweep.rows[i].converged = ares[i].converged;
+      sweep.rows[i].region_match = ares[i].region == res[i].region;
+    }
+  }
+  std::vector<double> ratios;
+  ratios.reserve(sweep.rows.size());
+  for (const AdaptiveRow& r : sweep.rows)
+    ratios.push_back(static_cast<double>(r.adaptive_samples) /
+                     static_cast<double>(r.fixed_samples));
+  std::sort(ratios.begin(), ratios.end());
+  sweep.median_ratio = ratios[ratios.size() / 2];
+  return sweep;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bench::Args args = bench::Args::parse(argc, argv);
-  bench::header("batched queries",
-                "multi-threshold confidence regions on one cached factor",
-                args);
+  bool json = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  if (!json)
+    bench::header("batched queries",
+                  "multi-threshold confidence regions on one cached factor",
+                  args);
 
   const i64 nx = args.full ? 64 : (args.quick ? 24 : 64);
   const i64 ny = args.full ? 64 : (args.quick ? 24 : 32);
@@ -85,10 +184,6 @@ int main(int argc, char** argv) {
 
   rt::Runtime rt(args.threads > 0 ? static_cast<int>(args.threads)
                                   : default_num_threads());
-  std::printf("# n=%lld tile=%lld samples/query=%lld workers=%d\n",
-              static_cast<long long>(n), static_cast<long long>(tile),
-              static_cast<long long>(opts.pmvn.total_samples()),
-              rt.num_threads());
 
   // Warm-up: touch the code paths once so first-run effects (page faults,
   // lazy allocations) do not land on the single-query measurement.
@@ -99,6 +194,36 @@ int main(int argc, char** argv) {
                                           &warm_cache);
   }
 
+  if (json) {
+    // JSON mode emits only the adaptive-vs-fixed sweep (BENCH_adaptive.json).
+    const AdaptiveSweep sweep = run_adaptive_sweep(rt, cov, locs, opts, 16);
+    std::printf("{\n  \"bench\": \"adaptive_vs_fixed\",\n");
+    std::printf("  \"n\": %lld, \"tile\": %lld, \"workers\": %d,\n",
+                static_cast<long long>(n), static_cast<long long>(tile),
+                rt.num_threads());
+    std::printf("  \"fixed_s\": %.3f, \"adaptive_s\": %.3f,\n", sweep.fixed_s,
+                sweep.adaptive_s);
+    std::printf("  \"median_sample_ratio\": %.3f,\n", sweep.median_ratio);
+    std::printf("  \"rows\": [\n");
+    for (std::size_t i = 0; i < sweep.rows.size(); ++i) {
+      const AdaptiveRow& r = sweep.rows[i];
+      std::printf("    {\"threshold\": %.4f, \"fixed_samples\": %lld, "
+                  "\"adaptive_samples\": %lld, \"converged\": %s, "
+                  "\"region_match\": %s}%s\n",
+                  r.threshold, static_cast<long long>(r.fixed_samples),
+                  static_cast<long long>(r.adaptive_samples),
+                  r.converged ? "true" : "false",
+                  r.region_match ? "true" : "false",
+                  i + 1 < sweep.rows.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+    return 0;
+  }
+
+  std::printf("# n=%lld tile=%lld samples/query=%lld workers=%d\n",
+              static_cast<long long>(n), static_cast<long long>(tile),
+              static_cast<long long>(opts.pmvn.total_samples()),
+              rt.num_threads());
   std::printf("mode,queries,total_s,per_query_s,vs_single\n");
   double single_s = 0.0;
   std::vector<double> batch_ratio(17, 0.0);
@@ -147,5 +272,26 @@ int main(int argc, char** argv) {
       "# acceptance: 16 batched thresholds ran at %.2fx the single-query "
       "time (target < 3x; the per-query loop sits near 16x)\n",
       batch_ratio[16]);
+
+  // Adaptive vs fixed on the same 16 thresholds.
+  {
+    const AdaptiveSweep sweep = run_adaptive_sweep(rt, cov, locs, opts, 16);
+    bool all_match = true;
+    for (const AdaptiveRow& r : sweep.rows) all_match &= r.region_match;
+    std::printf("adaptive,threshold,fixed_samples,adaptive_samples,ratio,"
+                "converged,region_match\n");
+    for (const AdaptiveRow& r : sweep.rows)
+      std::printf("adaptive,%.4f,%lld,%lld,%.3f,%d,%d\n", r.threshold,
+                  static_cast<long long>(r.fixed_samples),
+                  static_cast<long long>(r.adaptive_samples),
+                  static_cast<double>(r.adaptive_samples) /
+                      static_cast<double>(r.fixed_samples),
+                  r.converged ? 1 : 0, r.region_match ? 1 : 0);
+    std::printf(
+        "# acceptance: adaptive median sample ratio %.3f (target <= 0.5), "
+        "regions %s (fixed %.3fs vs adaptive %.3fs)\n",
+        sweep.median_ratio, all_match ? "all match" : "MISMATCH",
+        sweep.fixed_s, sweep.adaptive_s);
+  }
   return 0;
 }

@@ -231,6 +231,12 @@ std::vector<CrdResult> detect_confidence_regions(
     const engine::PmvnEngine eng(rt, factor, engine_options(opts.pmvn));
     std::vector<engine::LimitSet> limits;
     std::vector<std::size_t> slot_of_member(members.size());
+    // Decision threshold for adaptive early stop: the region test compares
+    // the confidence envelope against 1 - alpha, so a slot whose members all
+    // share one alpha can retire as soon as every prefix clears that level.
+    // Members at different alphas reuse one sweep — the slot then keeps NaN
+    // (no decision stop) so no member's level is starved of accuracy.
+    std::vector<double> slot_alpha;
     for (std::size_t mi = 0; mi < members.size(); ++mi) {
       const PreparedQuery& pq = prepared[members[mi]];
       std::size_t slot = limits.size();
@@ -242,11 +248,17 @@ std::vector<CrdResult> detect_confidence_regions(
           break;
         }
       }
-      if (slot == limits.size())
+      if (slot == limits.size()) {
         limits.push_back(
             engine::LimitSet{pq.a_ord, b_ord, pq.seed, /*prefix=*/true});
+        slot_alpha.push_back(pq.alpha);
+      } else if (slot_alpha[slot] != pq.alpha) {
+        slot_alpha[slot] = std::numeric_limits<double>::quiet_NaN();
+      }
       slot_of_member[mi] = slot;
     }
+    for (std::size_t s = 0; s < limits.size(); ++s)
+      limits[s].decision = 1.0 - slot_alpha[s];  // NaN stays NaN
     std::vector<engine::QueryResult> batch = eng.evaluate(limits);
 
     // The last member consuming a dedup slot takes the prefix vector by
@@ -265,6 +277,9 @@ std::vector<CrdResult> detect_confidence_regions(
       res.factor_seconds = mi == 0 ? factor_paid_s : 0.0;
       res.factor_cached = cached;
       res.sweep_seconds = mi == 0 ? qr.seconds : 0.0;
+      res.samples_used = qr.samples_used;
+      res.shifts_used = qr.shifts_used;
+      res.converged = qr.converged;
       std::vector<double> prefix = (--slot_remaining[slot] == 0)
                                        ? std::move(qr.prefix_prob)
                                        : qr.prefix_prob;

@@ -83,6 +83,12 @@ struct CrdResult {
                                     // fused-batch wall time on its first
                                     // member, 0 on the others
   bool factor_cached = false;       // factor came from the FactorCache
+  i64 samples_used = 0;             // QMC samples this query's sweep spent
+                                    // (less than the budget when the
+                                    // adaptive stop retired it early;
+                                    // shared-slot members report the same)
+  int shifts_used = 0;              // shift blocks actually evaluated
+  bool converged = false;           // adaptive stop criterion met
 };
 
 /// Detect the confidence region for the Gaussian field X ~ N(mean, cov).

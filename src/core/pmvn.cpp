@@ -14,6 +14,12 @@ engine::EngineOptions engine_options(const PmvnOptions& opts) {
   eo.shifts = opts.shifts;
   eo.sampler = opts.sampler;
   eo.panel_bytes = opts.panel_bytes;
+  eo.adaptive = opts.adaptive;
+  eo.abs_tol = opts.abs_tol;
+  eo.min_shifts = opts.min_shifts;
+  eo.crn = opts.crn;
+  eo.crn_seed = opts.crn_seed;
+  eo.antithetic = opts.antithetic;
   return eo;
 }
 
@@ -31,6 +37,9 @@ PmvnResult run_single(rt::Runtime& rt, engine::CholeskyFactor factor,
   result.error3sigma = qr.error3sigma;
   result.seconds = qr.seconds;
   result.prefix_prob = std::move(qr.prefix_prob);
+  result.samples_used = qr.samples_used;
+  result.shifts_used = qr.shifts_used;
+  result.converged = qr.converged;
   return result;
 }
 

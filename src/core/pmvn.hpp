@@ -40,6 +40,16 @@ struct PmvnOptions {
   bool prefix = false;           // also return all prefix probabilities
   i64 panel_bytes = i64{512} << 20;
 
+  // Error-budget-adaptive evaluation + variance reduction, forwarded
+  // verbatim to engine::EngineOptions (see engine/pmvn_engine.hpp for the
+  // contracts). `shifts` stays the hard budget cap in adaptive mode.
+  bool adaptive = false;
+  double abs_tol = 0.0;
+  int min_shifts = 2;
+  bool crn = false;
+  u64 crn_seed = 42;
+  bool antithetic = false;
+
   [[nodiscard]] i64 total_samples() const noexcept {
     return samples_per_shift * static_cast<i64>(shifts);
   }
@@ -50,6 +60,9 @@ struct PmvnResult {
   double error3sigma = 0.0;
   double seconds = 0.0;
   std::vector<double> prefix_prob;  // filled when opts.prefix
+  i64 samples_used = 0;             // samples actually evaluated
+  int shifts_used = 0;              // shift blocks actually evaluated
+  bool converged = false;           // adaptive stop criterion met (see engine)
 };
 
 /// PMVN with a dense tiled lower Cholesky factor (lower-symmetric layout).

@@ -20,32 +20,107 @@ constexpr double kUEps = 1e-16;  // keeps Phi^-1 arguments inside (0,1)
 // stay cache-friendly at typical n.
 constexpr i64 kPanelSamples = 128;
 
-// Shared panel sweep under both SOV entry points: run the sample-contiguous
-// QMC tile kernel over panels of samples against the whole factor (one
-// "tile" of size n), handing each panel's finished per-sample products to
-// `consume(s0, pc, p)` in ascending sample order.
-template <class Consume>
-void sov_panel_sweep(la::ConstMatrixView l, std::span<const double> a,
-                     std::span<const double> b, const stats::PointSet& pts,
-                     double* prefix_acc, Consume&& consume) {
+}  // namespace
+
+namespace detail {
+
+void sov_panel_sweep(
+    la::ConstMatrixView l, std::span<const double> a,
+    std::span<const double> b, const stats::PointSet& pts, i64 dim0,
+    i64 sample0, i64 count, std::span<const double> scale, double* prefix_acc,
+    const std::function<void(i64, i64, const double*)>& consume) {
   const i64 n = l.rows;
-  const i64 chunk = std::min<i64>(kPanelSamples, pts.num_samples());
+  const i64 chunk = std::min<i64>(kPanelSamples, count);
   la::Matrix ap(chunk, n), bp(chunk, n), yp(chunk, n);
-  for (i64 i = 0; i < n; ++i) {
-    std::fill_n(ap.view().col(i), chunk, a[static_cast<std::size_t>(i)]);
-    std::fill_n(bp.view().col(i), chunk, b[static_cast<std::size_t>(i)]);
+  const bool constant_limits = scale.empty();
+  if (constant_limits) {
+    for (i64 i = 0; i < n; ++i) {
+      std::fill_n(ap.view().col(i), chunk, a[static_cast<std::size_t>(i)]);
+      std::fill_n(bp.view().col(i), chunk, b[static_cast<std::size_t>(i)]);
+    }
   }
   std::vector<double> p(static_cast<std::size_t>(chunk));
-  for (i64 s0 = 0; s0 < pts.num_samples(); s0 += chunk) {
-    const i64 pc = std::min(chunk, pts.num_samples() - s0);
+  for (i64 s0 = sample0; s0 < sample0 + count; s0 += chunk) {
+    const i64 pc = std::min(chunk, sample0 + count - s0);
+    if (!constant_limits) {
+      // Per-sample scaled limits (MVT): a'(j, i) = scale_j * a_i, the same
+      // product the scalar recursion computed per (sample, dimension).
+      for (i64 i = 0; i < n; ++i) {
+        double* __restrict ac = ap.view().col(i);
+        double* __restrict bc = bp.view().col(i);
+        const double ai = a[static_cast<std::size_t>(i)];
+        const double bi = b[static_cast<std::size_t>(i)];
+        for (i64 j = 0; j < pc; ++j) {
+          const double sc = scale[static_cast<std::size_t>(s0 + j)];
+          ac[j] = sc * ai;
+          bc[j] = sc * bi;
+        }
+      }
+    }
     std::fill_n(p.data(), pc, 1.0);
-    qmc_tile_kernel(l, pts, 0, s0, ap.sub(0, 0, pc, n), bp.sub(0, 0, pc, n),
+    qmc_tile_kernel(l, pts, dim0, s0, ap.sub(0, 0, pc, n), bp.sub(0, 0, pc, n),
                     yp.view().sub(0, 0, pc, n), p.data(), prefix_acc);
     consume(s0, pc, p.data());
   }
 }
 
-}  // namespace
+SovResult sov_block_estimate(la::ConstMatrixView l, std::span<const double> a,
+                             std::span<const double> b,
+                             const stats::PointSet& pts, i64 dim0,
+                             std::span<const double> scale,
+                             const SovOptions& opts) {
+  const i64 sps = opts.samples_per_shift;
+  std::vector<double> block_sums(static_cast<std::size_t>(opts.shifts), 0.0);
+  const auto consume = [&](i64 s0, i64 pc, const double* p) {
+    for (i64 j = 0; j < pc; ++j)
+      block_sums[static_cast<std::size_t>(pts.shift_of(s0 + j))] += p[j];
+  };
+  // Block means over the first `done` shifts, pair-merged in antithetic
+  // mode (pair members are dependent — see stats/qmc.hpp).
+  const auto estimate = [&](int done) {
+    std::vector<double> means(block_sums.begin(), block_sums.begin() + done);
+    for (double& m : means) m /= static_cast<double>(sps);
+    if (opts.antithetic) means = stats::merge_antithetic_pairs(means);
+    return stats::combine_block_means(means);
+  };
+
+  SovResult res;
+  if (opts.abs_tol <= 0.0) {
+    // Fixed budget: one sweep over the whole stream (the pre-adaptive code
+    // path, bitwise preserved).
+    sov_panel_sweep(l, a, b, pts, dim0, 0, pts.num_samples(), scale, nullptr,
+                    consume);
+    const stats::BlockEstimate est = estimate(opts.shifts);
+    res.prob = est.mean;
+    res.error3sigma = est.error3sigma;
+    res.samples_used = pts.num_samples();
+    res.shifts_used = opts.shifts;
+    return res;
+  }
+
+  // Adaptive: one shift block (one antithetic pair) per round, stop as soon
+  // as the running 3-sigma estimate fits the budget. The estimate gates a
+  // decision, so at least two (independent) blocks are required.
+  PARMVN_EXPECTS(opts.shifts >= 2);
+  PARMVN_EXPECTS(opts.min_shifts >= 2);
+  const int step = opts.antithetic ? 2 : 1;
+  int done = 0;
+  stats::BlockEstimate est;
+  while (done < opts.shifts) {
+    sov_panel_sweep(l, a, b, pts, dim0, static_cast<i64>(done) * sps,
+                    static_cast<i64>(step) * sps, scale, nullptr, consume);
+    done += step;
+    est = estimate(done);
+    if (done >= opts.min_shifts && est.error3sigma <= opts.abs_tol) break;
+  }
+  res.prob = est.mean;
+  res.error3sigma = est.error3sigma;
+  res.samples_used = static_cast<i64>(done) * sps;
+  res.shifts_used = done;
+  return res;
+}
+
+}  // namespace detail
 
 SovResult mvn_probability_chol(la::ConstMatrixView l, std::span<const double> a,
                                std::span<const double> b,
@@ -56,17 +131,9 @@ SovResult mvn_probability_chol(la::ConstMatrixView l, std::span<const double> a,
   PARMVN_EXPECTS(static_cast<i64>(b.size()) == n);
 
   const stats::PointSet pts(opts.sampler, n, opts.samples_per_shift,
-                            opts.shifts, opts.seed);
-  std::vector<double> block_means(static_cast<std::size_t>(opts.shifts), 0.0);
-  sov_panel_sweep(l, a, b, pts, nullptr,
-                  [&](i64 s0, i64 pc, const double* p) {
-                    for (i64 j = 0; j < pc; ++j)
-                      block_means[static_cast<std::size_t>(
-                          pts.shift_of(s0 + j))] += p[j];
-                  });
-  for (double& m : block_means) m /= static_cast<double>(opts.samples_per_shift);
-  const stats::BlockEstimate est = stats::combine_block_means(block_means);
-  return SovResult{est.mean, est.error3sigma};
+                            opts.shifts, opts.seed, opts.antithetic);
+  return detail::sov_block_estimate(l, a, b, pts, /*dim0=*/0, /*scale=*/{},
+                                    opts);
 }
 
 SovResult mvn_probability(la::ConstMatrixView sigma, std::span<const double> a,
@@ -86,9 +153,11 @@ std::vector<double> mvn_prefix_probabilities_chol(la::ConstMatrixView l,
   PARMVN_EXPECTS(static_cast<i64>(b.size()) == n);
 
   const stats::PointSet pts(opts.sampler, n, opts.samples_per_shift,
-                            opts.shifts, opts.seed);
+                            opts.shifts, opts.seed, opts.antithetic);
   std::vector<double> acc(static_cast<std::size_t>(n), 0.0);
-  sov_panel_sweep(l, a, b, pts, acc.data(), [](i64, i64, const double*) {});
+  detail::sov_panel_sweep(l, a, b, pts, /*dim0=*/0, 0, pts.num_samples(),
+                          /*scale=*/{}, acc.data(),
+                          [](i64, i64, const double*) {});
   const double inv = 1.0 / static_cast<double>(pts.num_samples());
   for (double& v : acc) v *= inv;
   return acc;

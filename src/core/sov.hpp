@@ -9,6 +9,7 @@
 // an error estimate.
 #pragma once
 
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -22,6 +23,16 @@ struct SovOptions {
   int shifts = 20;
   stats::SamplerKind sampler = stats::SamplerKind::kRichtmyer;
   u64 seed = 42;
+  /// Error budget: when > 0 the estimator evaluates shift block by shift
+  /// block and stops as soon as error3sigma <= abs_tol (never before
+  /// min_shifts blocks, never beyond `shifts` — the fixed budget is the
+  /// cap). 0 keeps the classic fixed-budget sweep, bitwise unchanged.
+  double abs_tol = 0.0;
+  /// Blocks evaluated before the first stop decision (>= 2: a lone block's
+  /// error estimate is infinite and must never gate a stop).
+  int min_shifts = 2;
+  /// Antithetic shift pairs (see stats::PointSet); `shifts` must be even.
+  bool antithetic = false;
 
   [[nodiscard]] i64 total_samples() const noexcept {
     return samples_per_shift * static_cast<i64>(shifts);
@@ -31,6 +42,8 @@ struct SovOptions {
 struct SovResult {
   double prob = 0.0;
   double error3sigma = 0.0;  // 3-sigma spread of the shift-block means
+  i64 samples_used = 0;      // samples actually evaluated
+  int shifts_used = 0;       // shift blocks actually evaluated
 };
 
 /// MVN probability given the lower Cholesky factor of Sigma.
@@ -62,5 +75,41 @@ struct SovResult {
 /// applied. An ablation in the benches quantifies the effect.
 std::vector<i64> genz_reorder(la::MatrixView sigma, std::span<double> a,
                               std::span<double> b);
+
+namespace detail {
+
+/// Shared sample-contiguous panel sweep of the sequential estimators (MVN
+/// and MVT): runs the QMC tile kernel over panels of samples against the
+/// whole factor (one "tile" of size n), handing each finished panel's
+/// per-sample probability products to `consume(s0, pc, p)` in ascending
+/// sample order. Panelling is exact — per-sample values are independent of
+/// the chunk boundaries.
+/// @param dim0   point-set dimension feeding tile row 0 (MVT passes 1: its
+///               dimension 0 drives the chi^2 scale draw)
+/// @param sample0, count  global sample range to sweep
+/// @param scale  optional per-sample limit scaling, indexed by *global*
+///               sample (empty = none): panel limits become scale[s] * a[i]
+///               — the MVT chi scaling
+/// @param prefix_acc optional length-n prefix accumulator (see
+///               qmc_tile_kernel)
+void sov_panel_sweep(
+    la::ConstMatrixView l, std::span<const double> a,
+    std::span<const double> b, const stats::PointSet& pts, i64 dim0,
+    i64 sample0, i64 count, std::span<const double> scale, double* prefix_acc,
+    const std::function<void(i64, i64, const double*)>& consume);
+
+/// The shared block estimator over sov_panel_sweep: classic fixed budget
+/// when opts.abs_tol == 0 (bitwise identical to the pre-adaptive code),
+/// else shift-block-adaptive with early stop on the running 3-sigma
+/// estimate. Handles antithetic pair merging.
+[[nodiscard]] SovResult sov_block_estimate(la::ConstMatrixView l,
+                                           std::span<const double> a,
+                                           std::span<const double> b,
+                                           const stats::PointSet& pts,
+                                           i64 dim0,
+                                           std::span<const double> scale,
+                                           const SovOptions& opts);
+
+}  // namespace detail
 
 }  // namespace parmvn::core

@@ -14,13 +14,15 @@
 // using it with a different runtime is undefined (the FactorCache keys on
 // the runtime uid and never serves cross-runtime hits).
 //
-// Known trade-off: a factor's tile handle slots are NOT released back to
-// the runtime when the factor dies. Factors are shared_ptr-shared and may
-// outlive the runtime that built them (dead cache entries), so a destructor
-// release could dangle; and per factor the retained slots are KBs against
-// the MBs of matrix data actually freed. A leased-handle design that makes
-// release safe under shared ownership is a ROADMAP item. The engine's
-// per-round panel handles — the high-frequency case — ARE released.
+// Handle lifetime: a factor's tile handles are *leased* from the runtime
+// (rt::HandleLease inside TileMatrix / TlrMatrix). When the last shared
+// owner of the factor dies, the lease returns every tile handle to the
+// owning runtime's table — resolved through the uid registry behind
+// Runtime::uid_alive(), so a factor that outlives its runtime (a dead cache
+// entry) simply drops the handles instead of dangling. A long-lived serving
+// runtime whose FactorCache evicts factors therefore keeps a bounded handle
+// table; the engine's per-round panel handles — the high-frequency case —
+// are released explicitly per round as before.
 #pragma once
 
 #include <memory>

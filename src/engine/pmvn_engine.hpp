@@ -21,8 +21,16 @@
 //    sample columns are independent chains, column tiles never straddle
 //    queries, and the microkernel's per-column arithmetic does not depend on
 //    panel width or column position.
+//
+// Adaptive mode (EngineOptions::adaptive) evaluates shift blocks round by
+// round and retires queries as their error budget is met; each round reuses
+// the same fused wide-panel sweep over the still-active subset. All stop
+// decisions happen on the host thread from deterministic block sums, so
+// both contracts extend to the adaptive path (with CRN the stream is shared,
+// so batch transparency holds against a single-query run with the CRN seed).
 #pragma once
 
+#include <limits>
 #include <memory>
 #include <span>
 #include <vector>
@@ -41,6 +49,30 @@ struct EngineOptions {
   /// floored at one tile-width of columns per query.
   i64 panel_bytes = i64{512} << 20;
 
+  /// Error-budget-adaptive evaluation: sweep shift blocks round by round and
+  /// retire each query independently once its running 3-sigma estimate fits
+  /// `abs_tol`, or — when the query carries a decision threshold — once
+  /// prob +/- error3sigma cleanly clears it. `shifts` stays the hard budget
+  /// cap. Off (the default) keeps the fixed-budget sweep bitwise unchanged.
+  /// The stop schedule is computed on the host thread from deterministic
+  /// block sums, so adaptive results are identical across worker counts and
+  /// scheduler arms given the same seed.
+  bool adaptive = false;
+  /// Target 3-sigma error for the adaptive stop (0 = decision-only stop).
+  double abs_tol = 0.0;
+  /// Shift blocks evaluated before the first stop decision (>= 2: a lone
+  /// block's error estimate is infinite and must never gate a decision).
+  int min_shifts = 2;
+  /// Common random numbers: every query in the batch draws from one stream
+  /// seeded with `crn_seed` (ignoring LimitSet::seed), so estimates of
+  /// nearby limit sets — e.g. bisection iterates — are positively
+  /// correlated and their differences low-variance.
+  bool crn = false;
+  u64 crn_seed = 42;
+  /// Antithetic shift pairs (see stats::PointSet); `shifts` must be even,
+  /// and the estimator pair-merges block means before combining.
+  bool antithetic = false;
+
   [[nodiscard]] i64 total_samples() const noexcept {
     return samples_per_shift * static_cast<i64>(shifts);
   }
@@ -53,6 +85,10 @@ struct LimitSet {
   std::span<const double> b;
   u64 seed = 42;
   bool prefix = false;  // also accumulate all prefix probabilities
+  /// Decision threshold for adaptive early stop: the query retires once
+  /// prob +/- error3sigma lies entirely on one side (for prefix queries:
+  /// once every prefix probability does). NaN = no decision stop.
+  double decision = std::numeric_limits<double>::quiet_NaN();
 };
 
 struct QueryResult {
@@ -60,6 +96,11 @@ struct QueryResult {
   double error3sigma = 0.0;
   double seconds = 0.0;  // wall time of the whole batch (same for each query)
   std::vector<double> prefix_prob;  // filled when LimitSet::prefix
+  i64 samples_used = 0;             // samples actually evaluated
+  int shifts_used = 0;              // shift blocks actually evaluated
+  /// Adaptive path only: the stop criterion was met before the `shifts`
+  /// budget ran out (always false on the fixed-budget path).
+  bool converged = false;
 };
 
 class PmvnEngine {

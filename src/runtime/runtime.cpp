@@ -6,7 +6,7 @@
 
 #include <cstdio>
 #include <mutex>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "common/contracts.hpp"
@@ -17,15 +17,19 @@ namespace parmvn::rt {
 
 namespace {
 
-// Registry of live runtime uids, so uid_alive() can answer for caches that
-// hold handle-bearing objects across runtime lifetimes.
+// Registry of live runtimes keyed by uid, so uid_alive() can answer for
+// caches that hold handle-bearing objects across runtime lifetimes, and so
+// HandleLease::release() can hand handles back through a uid without ever
+// dereferencing a destroyed runtime: ~Runtime erases its entry under the
+// same mutex *before* its Impl is destroyed, and the runtime internals
+// never take this mutex, so holding it across release_handle() is safe.
 std::mutex& uid_registry_mutex() {
   static std::mutex m;
   return m;
 }
 
-std::unordered_set<u64>& uid_registry() {
-  static std::unordered_set<u64> s;
+std::unordered_map<u64, Runtime::Impl*>& uid_registry() {
+  static std::unordered_map<u64, Runtime::Impl*> s;
   return s;
 }
 
@@ -128,7 +132,7 @@ Runtime::Runtime(int num_threads, bool enable_trace, SchedulerKind sched) {
   // Register only after construction succeeded: a throwing impl constructor
   // must not leave a dead uid marked alive.
   std::unique_lock registry_lock(uid_registry_mutex());
-  uid_registry().insert(uid);
+  uid_registry().emplace(uid, impl_.get());
 }
 
 Runtime::Runtime() : Runtime(default_num_threads(), false) {}
@@ -184,6 +188,32 @@ u64 Runtime::uid() const noexcept { return impl_->uid; }
 bool Runtime::uid_alive(u64 uid) {
   std::unique_lock registry_lock(uid_registry_mutex());
   return uid_registry().count(uid) != 0;
+}
+
+DataHandle HandleLease::acquire(Runtime& rt, std::string debug_name) {
+  PARMVN_EXPECTS(uid_ != 0);
+  PARMVN_EXPECTS(rt.uid() == uid_);
+  const DataHandle h = rt.register_data(std::move(debug_name));
+  handles_.push_back(h);
+  return h;
+}
+
+void HandleLease::release() noexcept {
+  if (handles_.empty()) return;
+  std::unique_lock registry_lock(uid_registry_mutex());
+  const auto it = uid_registry().find(uid_);
+  if (it != uid_registry().end()) {
+    for (const DataHandle h : handles_) {
+      // A non-quiescent handle (in-flight task references) fails its
+      // release preconditions; skip it — one leaked slot beats throwing
+      // from a destructor.
+      try {
+        it->second->release_handle(h);
+      } catch (...) {  // NOLINT(bugprone-empty-catch)
+      }
+    }
+  }
+  handles_.clear();
 }
 
 i64 Runtime::tasks_executed() const noexcept {

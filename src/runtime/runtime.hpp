@@ -58,6 +58,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/types.hpp"
 #include "runtime/access.hpp"
@@ -155,7 +156,61 @@ class Runtime {
   struct Impl;
 
  private:
+  friend class HandleLease;
   std::unique_ptr<Impl> impl_;
+};
+
+/// Move-only RAII lease over a set of data handles, safe under shared
+/// ownership that may outlive the runtime: the lease records the owning
+/// runtime's uid at construction and, on destruction (or release()), hands
+/// every held handle back *only if* that runtime is still alive — resolved
+/// through the same registry that backs Runtime::uid_alive(), under its
+/// lock, so the release can never race with the runtime's destruction.
+/// This is what lets long-lived handle-bearing objects (factor tiles held
+/// by a FactorCache, shared across shared_ptr owners) return their handle
+/// slots instead of pinning them forever.
+///
+/// Handles acquired through the lease are normal handles: use them in
+/// submit() as usual, but do not release_data() them manually, and only let
+/// the lease die when the handles are quiescent (no in-flight task
+/// references, i.e. after a wait_all() epoch boundary — the natural state
+/// for anything whose tasks have completed).
+class HandleLease {
+ public:
+  HandleLease() = default;
+  explicit HandleLease(const Runtime& rt) : uid_(rt.uid()) {}
+  HandleLease(HandleLease&& other) noexcept
+      : uid_(other.uid_), handles_(std::move(other.handles_)) {
+    other.handles_.clear();
+  }
+  HandleLease& operator=(HandleLease&& other) noexcept {
+    if (this != &other) {
+      release();
+      uid_ = other.uid_;
+      handles_ = std::move(other.handles_);
+      other.handles_.clear();
+    }
+    return *this;
+  }
+  HandleLease(const HandleLease&) = delete;
+  HandleLease& operator=(const HandleLease&) = delete;
+  ~HandleLease() { release(); }
+
+  /// Register a handle with `rt` (which must be the runtime the lease was
+  /// bound to) and record it for release.
+  [[nodiscard]] DataHandle acquire(Runtime& rt, std::string debug_name = {});
+
+  /// Return every held handle to the owning runtime if it is still alive;
+  /// idempotent, never throws (a handle that is not quiescent is skipped —
+  /// leaking one slot beats crashing a destructor).
+  void release() noexcept;
+
+  [[nodiscard]] u64 runtime_uid() const noexcept { return uid_; }
+  [[nodiscard]] std::size_t size() const noexcept { return handles_.size(); }
+
+ private:
+  u64 uid_ = 0;
+  std::vector<DataHandle> handles_;
 };
 
 }  // namespace parmvn::rt

@@ -6,7 +6,7 @@ namespace parmvn::tile {
 
 TileMatrix::TileMatrix(rt::Runtime& rt, i64 rows, i64 cols, i64 tile_size,
                        Layout layout, std::string name)
-    : rows_(rows), cols_(cols), nb_(tile_size), layout_(layout) {
+    : rows_(rows), cols_(cols), nb_(tile_size), layout_(layout), lease_(rt) {
   PARMVN_EXPECTS(rows >= 1 && cols >= 1);
   PARMVN_EXPECTS(tile_size >= 1);
   if (layout_ == Layout::kLowerSymmetric) PARMVN_EXPECTS(rows == cols);
@@ -21,8 +21,9 @@ TileMatrix::TileMatrix(rt::Runtime& rt, i64 rows, i64 cols, i64 tile_size,
     const i64 jmax = (layout_ == Layout::kGeneral) ? nt_ - 1 : i;
     for (i64 j = 0; j <= jmax; ++j) {
       tiles_.emplace_back(tile_rows(i), tile_cols(j));
-      handles_.push_back(rt.register_data(name + "(" + std::to_string(i) +
-                                          "," + std::to_string(j) + ")"));
+      handles_.push_back(lease_.acquire(rt, name + "(" + std::to_string(i) +
+                                                "," + std::to_string(j) +
+                                                ")"));
     }
   }
 }

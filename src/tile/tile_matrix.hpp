@@ -22,7 +22,11 @@ enum class Layout {
 class TileMatrix {
  public:
   /// Creates a zero-initialised tiled matrix and registers one data handle
-  /// per allocated tile with `rt`.
+  /// per allocated tile with `rt`. The handles are leased: when the matrix
+  /// is destroyed (after its tasks have drained) they go back to the
+  /// runtime's handle table — or are silently dropped if the runtime died
+  /// first — so long-lived caches that evict factors do not pin handle
+  /// slots forever.
   TileMatrix(rt::Runtime& rt, i64 rows, i64 cols, i64 tile_size,
              Layout layout = Layout::kGeneral, std::string name = "tile");
 
@@ -68,6 +72,7 @@ class TileMatrix {
   Layout layout_ = Layout::kGeneral;
   std::vector<la::Matrix> tiles_;
   std::vector<rt::DataHandle> handles_;
+  rt::HandleLease lease_;  // returns handles_ to the runtime on destruction
 };
 
 }  // namespace parmvn::tile

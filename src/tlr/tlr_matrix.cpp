@@ -40,6 +40,34 @@ rt::DataHandle TlrMatrix::lr_handle(i64 i, i64 j) const {
   return lr_handles_[static_cast<std::size_t>(lr_index(i, j))];
 }
 
+TlrMatrix::TlrMatrix(const TlrMatrix& other)
+    : n_(other.n_),
+      nb_(other.nb_),
+      nt_(other.nt_),
+      tol_(other.tol_),
+      max_rank_(other.max_rank_),
+      diag_(other.diag_),
+      lower_(other.lower_),
+      diag_handles_(other.diag_handles_),
+      lr_handles_(other.lr_handles_) {}  // lease_ stays empty: handles shared
+
+TlrMatrix& TlrMatrix::operator=(const TlrMatrix& other) {
+  if (this != &other) {
+    n_ = other.n_;
+    nb_ = other.nb_;
+    nt_ = other.nt_;
+    tol_ = other.tol_;
+    max_rank_ = other.max_rank_;
+    diag_ = other.diag_;
+    lower_ = other.lower_;
+    diag_handles_ = other.diag_handles_;
+    lr_handles_ = other.lr_handles_;
+    // lease_ untouched: if *this owns slots they stay owned (the copied
+    // handle values are the same slots in the backup/restore use case).
+  }
+  return *this;
+}
+
 TlrMatrix TlrMatrix::compress(rt::Runtime& rt, const la::MatrixGenerator& gen,
                               i64 tile_size, double accuracy, i64 max_rank,
                               CompressionMethod method, std::string name) {
@@ -53,16 +81,17 @@ TlrMatrix TlrMatrix::compress(rt::Runtime& rt, const la::MatrixGenerator& gen,
   m.nt_ = (m.n_ + tile_size - 1) / tile_size;
   m.tol_ = accuracy;
   m.max_rank_ = max_rank;
+  m.lease_ = rt::HandleLease(rt);
   m.diag_.resize(static_cast<std::size_t>(m.nt_));
   m.lower_.resize(static_cast<std::size_t>(m.nt_ * (m.nt_ - 1) / 2));
   for (i64 k = 0; k < m.nt_; ++k) {
     m.diag_handles_.push_back(
-        rt.register_data(name + ".d(" + std::to_string(k) + ")"));
+        m.lease_.acquire(rt, name + ".d(" + std::to_string(k) + ")"));
   }
   for (i64 i = 1; i < m.nt_; ++i)
     for (i64 j = 0; j < i; ++j)
-      m.lr_handles_.push_back(rt.register_data(
-          name + "(" + std::to_string(i) + "," + std::to_string(j) + ")"));
+      m.lr_handles_.push_back(m.lease_.acquire(
+          rt, name + "(" + std::to_string(i) + "," + std::to_string(j) + ")"));
 
   // Diagonal tiles: dense generation.
   for (i64 k = 0; k < m.nt_; ++k) {

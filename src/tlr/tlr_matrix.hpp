@@ -31,6 +31,16 @@ class TlrMatrix {
                             CompressionMethod method = CompressionMethod::kRrqr,
                             std::string name = "tlr");
 
+  // Copies duplicate the tile data but *share* the original's data handles
+  // without extending their lease (potrf_tlr's retry backup): the handle
+  // slots stay owned by the matrix compress() built, and go back to the
+  // runtime when that owner — not a copy — dies. Moves transfer the lease.
+  TlrMatrix(const TlrMatrix& other);
+  TlrMatrix& operator=(const TlrMatrix& other);
+  TlrMatrix(TlrMatrix&&) noexcept = default;
+  TlrMatrix& operator=(TlrMatrix&&) noexcept = default;
+  ~TlrMatrix() = default;
+
   [[nodiscard]] i64 dim() const noexcept { return n_; }
   [[nodiscard]] i64 tile_size() const noexcept { return nb_; }
   [[nodiscard]] i64 num_tiles() const noexcept { return nt_; }
@@ -81,6 +91,7 @@ class TlrMatrix {
   std::vector<LowRankTile> lower_;
   std::vector<rt::DataHandle> diag_handles_;
   std::vector<rt::DataHandle> lr_handles_;
+  rt::HandleLease lease_;  // returns the handles on destruction
 };
 
 }  // namespace parmvn::tlr
