@@ -20,11 +20,21 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 engine::FactorSpec factor_spec(const CrdOptions& opts) {
   engine::FactorSpec spec;
-  spec.kind = opts.mode == CrdMode::kDense ? engine::FactorKind::kDense
-                                           : engine::FactorKind::kTlr;
+  switch (opts.mode) {
+    case CrdMode::kDense:
+      spec.kind = engine::FactorKind::kDense;
+      break;
+    case CrdMode::kTlr:
+      spec.kind = engine::FactorKind::kTlr;
+      break;
+    case CrdMode::kVecchia:
+      spec.kind = engine::FactorKind::kVecchia;
+      break;
+  }
   spec.tile = opts.tile;
   spec.tlr_tol = opts.tlr_tol;
   spec.tlr_max_rank = opts.tlr_max_rank;
+  spec.vecchia_m = opts.vecchia_m;
   return spec;
 }
 

@@ -35,7 +35,11 @@
 
 namespace parmvn::core {
 
-enum class CrdMode { kDense, kTlr };
+/// Factor arm for the sweep. kVecchia targets fields too large for a dense
+/// or TLR Cholesky (O(n m^3) build, O(n m) memory) and computes the
+/// *Vecchia estimand* — the confidence function of the Vecchia-approximate
+/// density — which agrees with the other arms statistically, not bitwise.
+enum class CrdMode { kDense, kTlr, kVecchia };
 enum class CrdStrategy { kSweep, kNaivePerPrefix };
 
 /// Excursion direction: E+ = {X > u} (the paper's case) or E- = {X < u}
@@ -51,6 +55,7 @@ struct CrdOptions {
   CrdMode mode = CrdMode::kDense;
   double tlr_tol = 1e-3;   // TLR compression accuracy (paper's sweep values)
   i64 tlr_max_rank = -1;
+  i64 vecchia_m = 30;      // Vecchia conditioning-set size (kVecchia only)
   CrdStrategy strategy = CrdStrategy::kSweep;
   PmvnOptions pmvn;
 };

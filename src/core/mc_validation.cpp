@@ -4,7 +4,7 @@
 
 #include "common/contracts.hpp"
 #include "common/timer.hpp"
-#include "linalg/blas.hpp"
+#include "linalg/microkernel.hpp"
 #include "stats/rng.hpp"
 
 namespace parmvn::core {
@@ -39,25 +39,40 @@ McValidationResult validate_region_mc(la::ConstMatrixView l_ord,
   // answer every level at once.
   std::vector<i64> fail_hist(static_cast<std::size_t>(n + 1), 0);
 
+  // Sample-contiguous panels, like mvn_probability_mc: dimension i of the
+  // whole batch is the unit-stride column sum_{k <= i} L(i, k) Z(:, k), and
+  // the first-failure index advances down the dimensions with an alive
+  // mask — once every sample in the batch has failed, later dimensions
+  // cannot change any histogram bin and the sweep exits early.
   constexpr i64 kBatch = 64;
-  la::Matrix x(n, kBatch);
+  la::Matrix z(kBatch, n);
+  std::vector<double> xv(static_cast<std::size_t>(kBatch));
+  std::vector<i64> fail(static_cast<std::size_t>(kBatch));
   stats::Xoshiro256pp g(seed);
   for (i64 s0 = 0; s0 < num_samples; s0 += kBatch) {
     const i64 bs = std::min(kBatch, num_samples - s0);
+    // Per-sample draw order (j outer): the histogram depends on the seed
+    // alone, not on the compute layout.
     for (i64 j = 0; j < bs; ++j)
-      for (i64 i = 0; i < n; ++i) x(i, j) = g.next_normal();
-    la::MatrixView xb = x.sub(0, 0, n, bs);
-    la::trmm_lower_notrans(l_ord, xb);  // only L's lower triangle is valid
-    for (i64 j = 0; j < bs; ++j) {
-      i64 fail = n;  // survives all prefixes
-      for (i64 i = 0; i < n; ++i) {
-        if (xb(i, j) < a_ord[static_cast<std::size_t>(i)]) {
-          fail = i;
-          break;
+      for (i64 i = 0; i < n; ++i) z(j, i) = g.next_normal();
+    std::fill(fail.begin(), fail.begin() + bs, n);
+    i64 live = bs;
+    for (i64 i = 0; i < n && live > 0; ++i) {
+      std::fill(xv.begin(), xv.begin() + bs, 0.0);
+      la::detail::gemv_notrans_strided_simd(1.0, z.sub(0, 0, bs, i + 1),
+                                            l_ord.data + i, l_ord.ld,
+                                            xv.data());
+      const double ai = a_ord[static_cast<std::size_t>(i)];
+      for (i64 j = 0; j < bs; ++j) {
+        if (fail[static_cast<std::size_t>(j)] == n &&
+            xv[static_cast<std::size_t>(j)] < ai) {
+          fail[static_cast<std::size_t>(j)] = i;
+          --live;
         }
       }
-      ++fail_hist[static_cast<std::size_t>(fail)];
     }
+    for (i64 j = 0; j < bs; ++j)
+      ++fail_hist[static_cast<std::size_t>(fail[static_cast<std::size_t>(j)])];
   }
 
   // survivors_at[k] = #samples whose failure index >= k  (i.e. that jointly

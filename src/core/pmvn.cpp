@@ -58,4 +58,11 @@ PmvnResult pmvn_tlr(rt::Runtime& rt, const tlr::TlrMatrix& l,
   return run_single(rt, engine::CholeskyFactor::borrow_tlr(l), a, b, opts);
 }
 
+PmvnResult pmvn_vecchia(rt::Runtime& rt, const vecchia::VecchiaFactor& l,
+                        std::span<const double> a, std::span<const double> b,
+                        const PmvnOptions& opts) {
+  return run_single(rt, engine::CholeskyFactor::borrow_vecchia(l), a, b,
+                    opts);
+}
+
 }  // namespace parmvn::core

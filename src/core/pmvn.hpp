@@ -8,11 +8,15 @@
 // into shared wide column panels so the factorization, the per-tile GEMM
 // propagation and the off-diagonal tile reads amortize across queries.
 //
-// Both factor formats are supported:
+// All three factor backends are supported:
 //  * dense tiled L (Chameleon-style potrf_tiled output),
 //  * TLR L (HiCMA-style potrf_tlr output) — the GEMM propagation then uses
 //    the low-rank form U (V^T Y), the source of the TLR speedup at equal
-//    QMC cost.
+//    QMC cost,
+//  * Vecchia sparse inverse-Cholesky (vecchia::VecchiaFactor) — a
+//    *different estimand*: the integral of the Vecchia-approximate density,
+//    which agrees with the exact PMVN statistically (tighter as vecchia_m
+//    grows, exact at m = n-1) but not bitwise.
 //
 // Memory: A/B/Y panels are bounded by `panel_bytes`; sample columns are
 // processed panel-by-panel (columns are independent MC chains, so panelling
@@ -27,6 +31,7 @@
 #include "stats/qmc.hpp"
 #include "tile/tile_matrix.hpp"
 #include "tlr/tlr_matrix.hpp"
+#include "vecchia/vecchia_factor.hpp"
 
 namespace parmvn::core {
 
@@ -76,6 +81,14 @@ struct PmvnResult {
                                   std::span<const double> a,
                                   std::span<const double> b,
                                   const PmvnOptions& opts = {});
+
+/// PMVN with a Vecchia sparse inverse-Cholesky factor (the Vecchia
+/// estimand — see the header note).
+[[nodiscard]] PmvnResult pmvn_vecchia(rt::Runtime& rt,
+                                      const vecchia::VecchiaFactor& l,
+                                      std::span<const double> a,
+                                      std::span<const double> b,
+                                      const PmvnOptions& opts = {});
 
 /// The engine-level view of `opts` (seed and prefix live per-LimitSet);
 /// the one translation point between the legacy options and the engine.

@@ -5,11 +5,12 @@
 
 #include "common/contracts.hpp"
 #include "common/timer.hpp"
+#include "engine/dense_backend.hpp"
+#include "engine/tlr_backend.hpp"
 #include "geo/covgen.hpp"
-#include "linalg/blas.hpp"
 #include "tile/tiled_potrf.hpp"
-#include "tlr/lr_tile.hpp"
 #include "tlr/tlr_potrf.hpp"
+#include "vecchia/vecchia_backend.hpp"
 
 namespace parmvn::engine {
 
@@ -43,21 +44,40 @@ CholeskyFactor CholeskyFactor::factor(rt::Runtime& rt,
   const i64 n = gen.rows();
 
   CholeskyFactor f;
-  f.kind_ = spec.kind;
   const WallTimer timer;
-  if (spec.kind == FactorKind::kDense) {
-    tile::TileMatrix l(rt, n, n, spec.tile, tile::Layout::kLowerSymmetric,
-                       "Sigma");
-    l.generate_async(rt, gen);
-    rt.wait_all();
-    tile::potrf_tiled(rt, l);
-    f.dense_ = std::make_shared<const tile::TileMatrix>(std::move(l));
-  } else {
-    tlr::TlrMatrix l = tlr::TlrMatrix::compress(rt, gen, spec.tile,
-                                                spec.tlr_tol,
-                                                spec.tlr_max_rank);
-    tlr::potrf_tlr(rt, l);
-    f.tlr_ = std::make_shared<const tlr::TlrMatrix>(std::move(l));
+  switch (spec.kind) {
+    case FactorKind::kDense: {
+      tile::TileMatrix l(rt, n, n, spec.tile, tile::Layout::kLowerSymmetric,
+                         "Sigma");
+      l.generate_async(rt, gen);
+      rt.wait_all();
+      tile::potrf_tiled(rt, l);
+      f.backend_ = std::make_shared<const DenseBackend>(
+          std::make_shared<const tile::TileMatrix>(std::move(l)));
+      break;
+    }
+    case FactorKind::kTlr: {
+      tlr::TlrMatrix l = tlr::TlrMatrix::compress(rt, gen, spec.tile,
+                                                  spec.tlr_tol,
+                                                  spec.tlr_max_rank);
+      tlr::potrf_tlr(rt, l);
+      f.backend_ = std::make_shared<const TlrBackend>(
+          std::make_shared<const tlr::TlrMatrix>(std::move(l)));
+      break;
+    }
+    case FactorKind::kVecchia: {
+      PARMVN_EXPECTS(spec.vecchia_m >= 1);
+      const std::vector<double> xy = gen.coords_xy();
+      if (static_cast<i64>(xy.size()) != 2 * n)
+        throw Error(
+            "CholeskyFactor: the Vecchia kind requires a generator with site "
+            "coordinates (la::MatrixGenerator::coords_xy)");
+      f.backend_ = std::make_shared<const vecchia::VecchiaBackend>(
+          std::make_shared<const vecchia::VecchiaFactor>(
+              vecchia::VecchiaFactor::build(rt, gen, xy, spec.tile,
+                                            spec.vecchia_m)));
+      break;
+    }
   }
   f.factor_seconds_ = timer.seconds();
   return f;
@@ -87,84 +107,39 @@ CholeskyFactor CholeskyFactor::factor_ordered(rt::Runtime& rt,
 }
 
 CholeskyFactor CholeskyFactor::borrow_dense(const tile::TileMatrix& l) {
-  PARMVN_EXPECTS(l.layout() == tile::Layout::kLowerSymmetric);
   CholeskyFactor f;
-  f.kind_ = FactorKind::kDense;
-  f.dense_ = borrow(l);
+  f.backend_ = std::make_shared<const DenseBackend>(borrow(l));
   return f;
 }
 
 CholeskyFactor CholeskyFactor::borrow_tlr(const tlr::TlrMatrix& l) {
   CholeskyFactor f;
-  f.kind_ = FactorKind::kTlr;
-  f.tlr_ = borrow(l);
+  f.backend_ = std::make_shared<const TlrBackend>(borrow(l));
   return f;
 }
 
-i64 CholeskyFactor::dim() const noexcept {
-  return kind_ == FactorKind::kDense ? dense_->rows() : tlr_->dim();
-}
-
-i64 CholeskyFactor::tile_size() const noexcept {
-  return kind_ == FactorKind::kDense ? dense_->tile_size() : tlr_->tile_size();
-}
-
-i64 CholeskyFactor::row_tiles() const noexcept {
-  return kind_ == FactorKind::kDense ? dense_->row_tiles() : tlr_->num_tiles();
-}
-
-i64 CholeskyFactor::tile_rows(i64 r) const noexcept {
-  return kind_ == FactorKind::kDense ? dense_->tile_rows(r)
-                                     : tlr_->tile_rows(r);
-}
-
-la::ConstMatrixView CholeskyFactor::diag_view(i64 r) const {
-  return kind_ == FactorKind::kDense ? dense_->tile(r, r) : tlr_->diag(r);
-}
-
-rt::DataHandle CholeskyFactor::diag_handle(i64 r) const {
-  return kind_ == FactorKind::kDense ? dense_->handle(r, r)
-                                     : tlr_->diag_handle(r);
-}
-
-rt::DataHandle CholeskyFactor::off_handle(i64 i, i64 r) const {
-  return kind_ == FactorKind::kDense ? dense_->handle(i, r)
-                                     : tlr_->lr_handle(i, r);
-}
-
-void CholeskyFactor::apply_update(i64 i, i64 r, la::ConstMatrixView y,
-                                  la::MatrixView a, la::MatrixView b) const {
-  // Panels are sample-contiguous (samples x dims): A -= Y L_ir^T over the
-  // (possibly wide, multi-query) panel. Each output element's reduction
-  // order in the microkernel depends only on the k extent, so per-sample
-  // rows stay bitwise independent of the panel width (the batched==single
-  // contract).
-  if (kind_ == FactorKind::kDense) {
-    la::ConstMatrixView lir = dense_->tile(i, r);
-    la::gemm(la::Trans::kNo, la::Trans::kYes, -1.0, y, lir, 1.0, a);
-    la::gemm(la::Trans::kNo, la::Trans::kYes, -1.0, y, lir, 1.0, b);
-  } else {
-    // L_ir = U V^T, so A -= (Y V) U^T with the skinny inner product shared
-    // by both targets.
-    const tlr::LowRankTile& t = tlr_->lr(i, r);
-    la::Matrix tmp(y.rows, t.rank());
-    la::gemm(la::Trans::kNo, la::Trans::kNo, 1.0, y, t.v.view(), 0.0,
-             tmp.view());
-    la::gemm(la::Trans::kNo, la::Trans::kYes, -1.0, tmp.view(), t.u.view(), 1.0,
-             a);
-    la::gemm(la::Trans::kNo, la::Trans::kYes, -1.0, tmp.view(), t.u.view(), 1.0,
-             b);
-  }
+CholeskyFactor CholeskyFactor::borrow_vecchia(const vecchia::VecchiaFactor& l) {
+  CholeskyFactor f;
+  f.backend_ = std::make_shared<const vecchia::VecchiaBackend>(borrow(l));
+  return f;
 }
 
 const tile::TileMatrix& CholeskyFactor::dense() const {
-  PARMVN_EXPECTS(kind_ == FactorKind::kDense);
-  return *dense_;
+  const auto* d = dynamic_cast<const DenseBackend*>(backend_.get());
+  PARMVN_EXPECTS(d != nullptr);
+  return d->matrix();
 }
 
 const tlr::TlrMatrix& CholeskyFactor::tlr() const {
-  PARMVN_EXPECTS(kind_ == FactorKind::kTlr);
-  return *tlr_;
+  const auto* t = dynamic_cast<const TlrBackend*>(backend_.get());
+  PARMVN_EXPECTS(t != nullptr);
+  return t->matrix();
+}
+
+const vecchia::VecchiaFactor& CholeskyFactor::vecchia() const {
+  const auto* v = dynamic_cast<const vecchia::VecchiaBackend*>(backend_.get());
+  PARMVN_EXPECTS(v != nullptr);
+  return v->factor();
 }
 
 }  // namespace parmvn::engine

@@ -1,23 +1,25 @@
-// Owning Cholesky-factor abstraction — the "factor once" half of the
-// factor-once / evaluate-many engine.
+// Owning factor facade — the "factor once" half of the factor-once /
+// evaluate-many engine.
 //
-// The PMVN sweep (Algorithm 2) only ever touches a factor through four
-// operations: read a diagonal tile, name a diagonal/off-diagonal tile for
-// dependency tracking, and apply one off-diagonal propagation update into a
-// sample panel. CholeskyFactor packages both factor formats (dense tiled and
-// TLR) behind those operations, owns the factored matrix (so it can outlive
-// the stack frame that produced it — a prerequisite for caching), and
-// carries the ordering/standardisation metadata the confidence-region
-// detector previously recomputed on every call.
+// The PMVN sweep (Algorithm 2) only ever touches a factor through the
+// FactorBackend vocabulary (engine/factor_backend.hpp): tile geometry, a
+// readable diagonal tile, dependency handles, and a propagation rule.
+// CholeskyFactor owns one backend — dense tiled, TLR, or Vecchia — behind
+// that vocabulary, so it can outlive the stack frame that produced it (a
+// prerequisite for caching), and carries the ordering/standardisation
+// metadata the confidence-region detector previously recomputed on every
+// call. Adding a fourth arithmetic format means writing a FactorBackend
+// adapter and a branch in factor(); no sweep, cache, or excursion code
+// changes.
 //
 // A factor is bound to the rt::Runtime that registered its tile handles:
 // using it with a different runtime is undefined (the FactorCache keys on
 // the runtime uid and never serves cross-runtime hits).
 //
 // Handle lifetime: a factor's tile handles are *leased* from the runtime
-// (rt::HandleLease inside TileMatrix / TlrMatrix). When the last shared
-// owner of the factor dies, the lease returns every tile handle to the
-// owning runtime's table — resolved through the uid registry behind
+// (rt::HandleLease inside TileMatrix / TlrMatrix / VecchiaFactor). When the
+// last shared owner of the factor dies, the lease returns every tile handle
+// to the owning runtime's table — resolved through the uid registry behind
 // Runtime::uid_alive(), so a factor that outlives its runtime (a dead cache
 // entry) simply drops the handles instead of dangling. A long-lived serving
 // runtime whose FactorCache evicts factors therefore keeps a bounded handle
@@ -29,15 +31,22 @@
 #include <span>
 #include <vector>
 
+#include "engine/factor_backend.hpp"
 #include "linalg/generator.hpp"
 #include "linalg/matrix.hpp"
 #include "runtime/runtime.hpp"
-#include "tile/tile_matrix.hpp"
-#include "tlr/tlr_matrix.hpp"
+
+namespace parmvn::tile {
+class TileMatrix;
+}
+namespace parmvn::tlr {
+class TlrMatrix;
+}
+namespace parmvn::vecchia {
+class VecchiaFactor;
+}
 
 namespace parmvn::engine {
-
-enum class FactorKind { kDense, kTlr };
 
 /// sqrt of the diagonal of `cov` (throws unless strictly positive) — the
 /// standardisation vector shared by factor_ordered's metadata and the
@@ -45,18 +54,21 @@ enum class FactorKind { kDense, kTlr };
 [[nodiscard]] std::vector<double> standard_deviations(
     const la::MatrixGenerator& cov);
 
-/// How to build a factor: arithmetic format, tile size, TLR accuracy knobs.
+/// How to build a factor: arithmetic format, tile size, format knobs.
 struct FactorSpec {
   FactorKind kind = FactorKind::kDense;
   i64 tile = 256;
-  double tlr_tol = 1e-3;  // TLR compression accuracy (ignored for dense)
-  i64 tlr_max_rank = -1;  // TLR rank cap, < 0 = uncapped (ignored for dense)
+  double tlr_tol = 1e-3;  // TLR compression accuracy (ignored for others)
+  i64 tlr_max_rank = -1;  // TLR rank cap, < 0 = uncapped (ignored for others)
+  i64 vecchia_m = 30;     // Vecchia conditioning-set size (ignored for others)
 };
 
 class CholeskyFactor {
  public:
   /// Generate and factor the SPD matrix `gen` describes, as-is (no
-  /// standardisation or reordering). Blocks until the factorization is done.
+  /// standardisation or reordering). Blocks until the factorization is
+  /// done. The Vecchia kind additionally requires `gen` to expose site
+  /// coordinates (la::MatrixGenerator::coords_xy()).
   [[nodiscard]] static CholeskyFactor factor(rt::Runtime& rt,
                                              const la::MatrixGenerator& gen,
                                              const FactorSpec& spec);
@@ -76,12 +88,20 @@ class CholeskyFactor {
   /// keeps it alive). Used by the single-query core::pmvn_* entry points.
   [[nodiscard]] static CholeskyFactor borrow_dense(const tile::TileMatrix& l);
   [[nodiscard]] static CholeskyFactor borrow_tlr(const tlr::TlrMatrix& l);
+  [[nodiscard]] static CholeskyFactor borrow_vecchia(
+      const vecchia::VecchiaFactor& l);
 
-  [[nodiscard]] FactorKind kind() const noexcept { return kind_; }
-  [[nodiscard]] i64 dim() const noexcept;
-  [[nodiscard]] i64 tile_size() const noexcept;
-  [[nodiscard]] i64 row_tiles() const noexcept;
-  [[nodiscard]] i64 tile_rows(i64 r) const noexcept;
+  [[nodiscard]] FactorKind kind() const noexcept { return backend_->kind(); }
+  [[nodiscard]] i64 dim() const noexcept { return backend_->dim(); }
+  [[nodiscard]] i64 tile_size() const noexcept {
+    return backend_->tile_size();
+  }
+  [[nodiscard]] i64 row_tiles() const noexcept {
+    return backend_->row_tiles();
+  }
+  [[nodiscard]] i64 tile_rows(i64 r) const noexcept {
+    return backend_->tile_rows(r);
+  }
 
   /// Wall-clock seconds spent generating + factoring (0 for borrowed).
   [[nodiscard]] double factor_seconds() const noexcept {
@@ -96,29 +116,38 @@ class CholeskyFactor {
   /// otherwise.
   [[nodiscard]] const std::vector<double>& sd() const noexcept { return sd_; }
 
-  // ---- sweep interface (what the PMVN task graph consumes) ----
-  [[nodiscard]] la::ConstMatrixView diag_view(i64 r) const;
-  [[nodiscard]] rt::DataHandle diag_handle(i64 r) const;
-  [[nodiscard]] rt::DataHandle off_handle(i64 i, i64 r) const;
-
-  /// A -= Y * L_ir^T, B -= Y * L_ir^T over (possibly wide, multi-query)
-  /// sample-contiguous panels (rows = samples, columns = dimensions — the
-  /// QMC integrand's panel format). TLR applies the low-rank form
-  /// (Y V) U^T, computing the skinny inner product once for both targets.
+  // ---- sweep interface (forwarded to the backend; see
+  //      engine/factor_backend.hpp for the two panel protocols) ----
+  [[nodiscard]] const FactorBackend& backend() const noexcept {
+    return *backend_;
+  }
+  [[nodiscard]] bool mean_panel_form() const noexcept {
+    return backend_->mean_panel_form();
+  }
+  [[nodiscard]] la::ConstMatrixView diag_view(i64 r) const {
+    return backend_->diag_view(r);
+  }
+  [[nodiscard]] rt::DataHandle diag_handle(i64 r) const {
+    return backend_->diag_handle(r);
+  }
+  [[nodiscard]] rt::DataHandle off_handle(i64 i, i64 r) const {
+    return backend_->off_handle(i, r);
+  }
   void apply_update(i64 i, i64 r, la::ConstMatrixView y, la::MatrixView a,
-                    la::MatrixView b) const;
+                    la::MatrixView b) const {
+    backend_->apply_update(i, r, y, a, b);
+  }
 
-  /// The dense tiled factor (throws unless kind() == kDense); for clients
-  /// that need direct tile access (e.g. MC validation).
+  /// The concrete factored matrix (throws unless kind() matches); for
+  /// clients that need direct access (e.g. MC validation).
   [[nodiscard]] const tile::TileMatrix& dense() const;
   [[nodiscard]] const tlr::TlrMatrix& tlr() const;
+  [[nodiscard]] const vecchia::VecchiaFactor& vecchia() const;
 
  private:
   CholeskyFactor() = default;
 
-  FactorKind kind_ = FactorKind::kDense;
-  std::shared_ptr<const tile::TileMatrix> dense_;
-  std::shared_ptr<const tlr::TlrMatrix> tlr_;
+  std::shared_ptr<const FactorBackend> backend_;
   std::vector<i64> order_;
   std::vector<double> sd_;
   double factor_seconds_ = 0.0;

@@ -1,0 +1,19 @@
+#include "engine/dense_backend.hpp"
+
+#include "linalg/blas.hpp"
+
+namespace parmvn::engine {
+
+void DenseBackend::apply_update(i64 i, i64 r, la::ConstMatrixView y,
+                                la::MatrixView a, la::MatrixView b) const {
+  // Panels are sample-contiguous (samples x dims): A -= Y L_ir^T over the
+  // (possibly wide, multi-query) panel. Each output element's reduction
+  // order in the microkernel depends only on the k extent, so per-sample
+  // rows stay bitwise independent of the panel width (the batched==single
+  // contract).
+  la::ConstMatrixView lir = l_->tile(i, r);
+  la::gemm(la::Trans::kNo, la::Trans::kYes, -1.0, y, lir, 1.0, a);
+  la::gemm(la::Trans::kNo, la::Trans::kYes, -1.0, y, lir, 1.0, b);
+}
+
+}  // namespace parmvn::engine

@@ -1,0 +1,54 @@
+// Dense-tiled factor backend: a thin adapter exposing tile::TileMatrix
+// through the FactorBackend sweep vocabulary (reduced-limit protocol).
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "engine/factor_backend.hpp"
+#include "tile/tile_matrix.hpp"
+
+namespace parmvn::engine {
+
+class DenseBackend final : public FactorBackend {
+ public:
+  explicit DenseBackend(std::shared_ptr<const tile::TileMatrix> l)
+      : l_(std::move(l)) {
+    PARMVN_EXPECTS(l_ != nullptr);
+    PARMVN_EXPECTS(l_->layout() == tile::Layout::kLowerSymmetric);
+  }
+
+  [[nodiscard]] FactorKind kind() const noexcept override {
+    return FactorKind::kDense;
+  }
+  [[nodiscard]] i64 dim() const noexcept override { return l_->rows(); }
+  [[nodiscard]] i64 tile_size() const noexcept override {
+    return l_->tile_size();
+  }
+  [[nodiscard]] i64 row_tiles() const noexcept override {
+    return l_->row_tiles();
+  }
+  [[nodiscard]] i64 tile_rows(i64 r) const noexcept override {
+    return l_->tile_rows(r);
+  }
+
+  [[nodiscard]] la::ConstMatrixView diag_view(i64 r) const override {
+    return l_->tile(r, r);
+  }
+  [[nodiscard]] rt::DataHandle diag_handle(i64 r) const override {
+    return l_->handle(r, r);
+  }
+  [[nodiscard]] rt::DataHandle off_handle(i64 i, i64 r) const override {
+    return l_->handle(i, r);
+  }
+
+  void apply_update(i64 i, i64 r, la::ConstMatrixView y, la::MatrixView a,
+                    la::MatrixView b) const override;
+
+  [[nodiscard]] const tile::TileMatrix& matrix() const noexcept { return *l_; }
+
+ private:
+  std::shared_ptr<const tile::TileMatrix> l_;
+};
+
+}  // namespace parmvn::engine

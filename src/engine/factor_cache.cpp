@@ -24,13 +24,19 @@ u64 hash_order(const std::vector<i64>& order) {
 // each other's on every alternating lookup.
 std::string make_key(const std::string& gen_key, u64 runtime_uid,
                      const std::vector<i64>& order, const FactorSpec& spec) {
-  char buf[160];
+  // Every knob that changes the factored bits must appear here (kind-gated
+  // to a fixed neutral value where it is ignored, so irrelevant knob noise
+  // cannot split the cache): tile geometry, TLR accuracy, and the Vecchia
+  // conditioning-set size — two specs differing only in vecchia_m describe
+  // different sparse factors and must never alias.
+  char buf[192];
   std::snprintf(buf, sizeof(buf),
                 "|rt=%" PRIu64 "|k=%d|tile=%" PRId64 "|tol=%.17g|cap=%" PRId64
-                "|ord=%zu:%016" PRIx64,
+                "|m=%" PRId64 "|ord=%zu:%016" PRIx64,
                 runtime_uid, static_cast<int>(spec.kind), spec.tile,
                 spec.kind == FactorKind::kTlr ? spec.tlr_tol : 0.0,
                 spec.kind == FactorKind::kTlr ? spec.tlr_max_rank : i64{-1},
+                spec.kind == FactorKind::kVecchia ? spec.vecchia_m : i64{0},
                 order.size(), hash_order(order));
   return gen_key + buf;
 }

@@ -10,6 +10,7 @@
 #include "core/qmc_kernel.hpp"
 #include "linalg/matrix.hpp"
 #include "runtime/priority.hpp"
+#include "vecchia/vecchia_kernel.hpp"
 
 namespace parmvn::engine {
 
@@ -98,6 +99,13 @@ std::vector<QueryResult> PmvnEngine::evaluate(
   const auto sweep_range = [&](std::span<const i64> active, i64 s_begin,
                                i64 s_end) {
     const i64 nact = static_cast<i64>(active.size());
+    // Mean-panel backends (Vecchia) drive a different panel protocol: A
+    // accumulates the external conditional mean (zero-initialised by
+    // allocation, no init tasks), B is unused, and the per-column-tile task
+    // chain — already serialised by the probability-product handle — is the
+    // only dependency, so no per-pair panel handles or update tasks exist.
+    // See engine/factor_backend.hpp.
+    const bool meanp = f.mean_panel_form();
     // Per-query panel width: the sweep shares the panel budget (3 matrices
     // of n rows, 8 bytes each), floored at one tile width per query and
     // rounded to a tile multiple. For a 1-element batch this reproduces the
@@ -138,7 +146,7 @@ std::vector<QueryResult> PmvnEngine::evaluate(
       for (i64 r = 0; r < mt; ++r) {
         const i64 mr = f.tile_rows(r);
         A.emplace_back(width, mr);
-        B.emplace_back(width, mr);
+        if (!meanp) B.emplace_back(width, mr);
         Y.emplace_back(width, mr);
       }
       std::vector<std::vector<double>> prefix_acc(
@@ -176,12 +184,16 @@ std::vector<QueryResult> PmvnEngine::evaluate(
         for (const rt::DataHandle h : p_handles) rt_.release_data(h);
       };
       try {
-        for (i64 k = 0; k < mt * nct; ++k)
-          panel_handles.push_back(rt_.register_data());
+        if (!meanp)
+          for (i64 k = 0; k < mt * nct; ++k)
+            panel_handles.push_back(rt_.register_data());
         for (i64 t = 0; t < nct; ++t) p_handles.push_back(rt_.register_data());
         // Initialise A/B with the replicated per-query limit vectors (lines
         // 2-3 of Algorithm 2), one task per (tile row, column tile).
-        for (i64 r = 0; r < mt; ++r) {
+        // Mean-panel backends skip this: their A panel starts at zero (the
+        // allocation already zero-fills on the host thread) and the limits
+        // reach the kernel as per-dimension spans instead.
+        for (i64 r = 0; !meanp && r < mt; ++r) {
           const i64 mr = f.tile_rows(r);
           const i64 row0 = r * m;
           for (i64 t = 0; t < nct; ++t) {
@@ -221,9 +233,7 @@ std::vector<QueryResult> PmvnEngine::evaluate(
           la::ConstMatrixView lrr = f.diag_view(r);
           for (i64 t = 0; t < nct; ++t) {
             const ColTile& ct = tiles[static_cast<std::size_t>(t)];
-            la::ConstMatrixView at = A[static_cast<std::size_t>(r)].sub(
-                ct.col0, 0, ct.width, mr);
-            la::ConstMatrixView bt = B[static_cast<std::size_t>(r)].sub(
+            la::MatrixView at = A[static_cast<std::size_t>(r)].sub(
                 ct.col0, 0, ct.width, mr);
             la::MatrixView yt = Y[static_cast<std::size_t>(r)].sub(
                 ct.col0, 0, ct.width, mr);
@@ -236,18 +246,52 @@ std::vector<QueryResult> PmvnEngine::evaluate(
                               : prefix_acc[static_cast<std::size_t>(t)].data() +
                                     row0;
             const i64 sample0 = ct.sample0;
+            if (meanp) {
+              // Mean-panel integrand: fold the cross-tile regression
+              // contributions into this row's mean tile (reading earlier Y
+              // tiles of the same column tile, completed by this chain),
+              // then run the Vecchia chain step. The probability-product
+              // handle serialises the whole per-column-tile chain.
+              const LimitSet& q = queries[static_cast<std::size_t>(ct.query)];
+              const std::span<const double> qa =
+                  q.a.subspan(static_cast<std::size_t>(row0),
+                              static_cast<std::size_t>(mr));
+              const std::span<const double> qb =
+                  q.b.subspan(static_cast<std::size_t>(row0),
+                              static_cast<std::size_t>(mr));
+              const FactorBackend* fb = &f.backend();
+              const std::vector<la::Matrix>* yall = &Y;
+              const i64 col0 = ct.col0;
+              const i64 cw = ct.width;
+              rt_.submit("vecchia_qmc",
+                         {{f.diag_handle(r), rt::Access::kRead},
+                          {p_handles[static_cast<std::size_t>(t)],
+                           rt::Access::kReadWrite}},
+                         [fb, r, lrr, ps, row0, sample0, qa, qb, at, yt, pk,
+                          acc, yall, col0, cw] {
+                           fb->accumulate_external(r, *yall, col0, cw, at);
+                           vecchia::vecchia_tile_kernel(lrr, *ps, row0,
+                                                        sample0, qa, qb, at,
+                                                        yt, pk, acc);
+                         },
+                         rt::kPrioSweep);
+              continue;
+            }
+            la::ConstMatrixView bt = B[static_cast<std::size_t>(r)].sub(
+                ct.col0, 0, ct.width, mr);
+            la::ConstMatrixView atc = at;
             rt_.submit("qmc",
                        {{f.diag_handle(r), rt::Access::kRead},
                         {handle(r, t), rt::Access::kReadWrite},
                         {p_handles[static_cast<std::size_t>(t)],
                          rt::Access::kReadWrite}},
-                       [lrr, ps, row0, sample0, at, bt, yt, pk, acc] {
-                         core::qmc_tile_kernel(lrr, *ps, row0, sample0, at, bt,
-                                               yt, pk, acc);
+                       [lrr, ps, row0, sample0, atc, bt, yt, pk, acc] {
+                         core::qmc_tile_kernel(lrr, *ps, row0, sample0, atc,
+                                               bt, yt, pk, acc);
                        },
                        rt::kPrioSweep);
           }
-          for (i64 i = r + 1; i < mt; ++i) {
+          for (i64 i = r + 1; !meanp && i < mt; ++i) {
             const i64 mi = f.tile_rows(i);
             la::ConstMatrixView yw = Y[static_cast<std::size_t>(r)].sub(
                 0, 0, width, mr);

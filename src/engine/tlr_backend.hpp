@@ -1,0 +1,53 @@
+// TLR factor backend: a thin adapter exposing tlr::TlrMatrix through the
+// FactorBackend sweep vocabulary (reduced-limit protocol).
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "engine/factor_backend.hpp"
+#include "tlr/tlr_matrix.hpp"
+
+namespace parmvn::engine {
+
+class TlrBackend final : public FactorBackend {
+ public:
+  explicit TlrBackend(std::shared_ptr<const tlr::TlrMatrix> l)
+      : l_(std::move(l)) {
+    PARMVN_EXPECTS(l_ != nullptr);
+  }
+
+  [[nodiscard]] FactorKind kind() const noexcept override {
+    return FactorKind::kTlr;
+  }
+  [[nodiscard]] i64 dim() const noexcept override { return l_->dim(); }
+  [[nodiscard]] i64 tile_size() const noexcept override {
+    return l_->tile_size();
+  }
+  [[nodiscard]] i64 row_tiles() const noexcept override {
+    return l_->num_tiles();
+  }
+  [[nodiscard]] i64 tile_rows(i64 r) const noexcept override {
+    return l_->tile_rows(r);
+  }
+
+  [[nodiscard]] la::ConstMatrixView diag_view(i64 r) const override {
+    return l_->diag(r);
+  }
+  [[nodiscard]] rt::DataHandle diag_handle(i64 r) const override {
+    return l_->diag_handle(r);
+  }
+  [[nodiscard]] rt::DataHandle off_handle(i64 i, i64 r) const override {
+    return l_->lr_handle(i, r);
+  }
+
+  void apply_update(i64 i, i64 r, la::ConstMatrixView y, la::MatrixView a,
+                    la::MatrixView b) const override;
+
+  [[nodiscard]] const tlr::TlrMatrix& matrix() const noexcept { return *l_; }
+
+ private:
+  std::shared_ptr<const tlr::TlrMatrix> l_;
+};
+
+}  // namespace parmvn::engine

@@ -50,6 +50,16 @@ std::string KernelCovGenerator::cache_key() const {
   return "kernelcov|" + kernel_key + buf;
 }
 
+std::vector<double> KernelCovGenerator::coords_xy() const {
+  std::vector<double> xy;
+  xy.reserve(2 * locations_.size());
+  for (const Point& pt : locations_) {
+    xy.push_back(pt.x);
+    xy.push_back(pt.y);
+  }
+  return xy;
+}
+
 PermutedGenerator::PermutedGenerator(const la::MatrixGenerator& base,
                                      std::vector<i64> perm)
     : base_(base), perm_(std::move(perm)) {
@@ -76,6 +86,18 @@ std::string PermutedGenerator::cache_key() const {
   std::snprintf(buf, sizeof(buf), "|perm=%zu:%016" PRIx64 "%016" PRIx64,
                 perm_.size(), h1, h2);
   return "perm|" + base_key + buf;
+}
+
+std::vector<double> PermutedGenerator::coords_xy() const {
+  const std::vector<double> base_xy = base_.coords_xy();
+  if (base_xy.empty()) return {};
+  std::vector<double> xy;
+  xy.reserve(2 * perm_.size());
+  for (const i64 p : perm_) {
+    xy.push_back(base_xy[static_cast<std::size_t>(2 * p)]);
+    xy.push_back(base_xy[static_cast<std::size_t>(2 * p + 1)]);
+  }
+  return xy;
 }
 
 CorrelationGenerator::CorrelationGenerator(const la::MatrixGenerator& base)

@@ -25,6 +25,7 @@ class KernelCovGenerator final : public la::MatrixGenerator {
   /// kernel key + nugget + a bit-exact hash of the location set; empty
   /// (non-cacheable) when the kernel does not implement cache_key().
   [[nodiscard]] std::string cache_key() const override;
+  [[nodiscard]] std::vector<double> coords_xy() const override;
 
   [[nodiscard]] const LocationSet& locations() const noexcept {
     return locations_;
@@ -53,6 +54,9 @@ class PermutedGenerator final : public la::MatrixGenerator {
   [[nodiscard]] i64 cols() const override { return rows(); }
   [[nodiscard]] double entry(i64 i, i64 j) const override;
   [[nodiscard]] std::string cache_key() const override;
+  /// Base coordinates re-indexed by the permutation (empty when the base
+  /// has none).
+  [[nodiscard]] std::vector<double> coords_xy() const override;
 
  private:
   const la::MatrixGenerator& base_;
@@ -69,6 +73,10 @@ class CorrelationGenerator final : public la::MatrixGenerator {
   [[nodiscard]] i64 cols() const override { return rows(); }
   [[nodiscard]] double entry(i64 i, i64 j) const override;
   [[nodiscard]] std::string cache_key() const override;
+  /// Standardisation does not move sites: forwards the base coordinates.
+  [[nodiscard]] std::vector<double> coords_xy() const override {
+    return base_.coords_xy();
+  }
 
  private:
   const la::MatrixGenerator& base_;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "common/types.hpp"
 #include "linalg/matrix.hpp"
@@ -31,6 +32,16 @@ class MatrixGenerator {
 
   /// Value of entry (i, j) of the full matrix.
   [[nodiscard]] virtual double entry(i64 i, i64 j) const = 0;
+
+  /// Planar coordinates of the rows' underlying sites, flat
+  /// (x0, y0, x1, y1, ...), when the generator describes a spatial field;
+  /// empty when it does not. Wrapping generators (permutation,
+  /// standardisation) must forward/permute them so index i of the wrapper
+  /// maps to the coordinates of the site its row i describes. Consumed by
+  /// structure-exploiting factors (the Vecchia arm builds nearest-neighbour
+  /// conditioning sets from these); no identity guarantee beyond what
+  /// cache_key() already carries (location content is hashed there).
+  [[nodiscard]] virtual std::vector<double> coords_xy() const { return {}; }
 
   /// Fill `out` with the block whose top-left corner is (row0, col0).
   /// Default implementation loops over entry(); override when a faster bulk

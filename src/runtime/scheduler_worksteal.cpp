@@ -207,6 +207,31 @@ class WsImpl final : public Runtime::Impl {
     node->lane = priority_lane(priority);
     WsTask* task = node.get();
 
+    // Fast path for a single access — the dominant shape in the engine's
+    // sweeps (per-column-tile chain tasks and Vecchia fit tasks carry
+    // exactly one handle): lock that handle's shard directly, skipping the
+    // mask build and both bit-scan lock/unlock loops of the general case.
+    if (accesses.size() == 1) {
+      const DataAccess& acc = accesses[0];
+      PARMVN_EXPECTS(acc.handle.valid());
+      HandleShard& shard = shards_[shard_of(acc.handle)];
+      i64 ndeps = 0;
+      {
+        std::lock_guard<std::mutex> g(shard.mu);
+        const i64 index = index_of(acc.handle);
+        PARMVN_EXPECTS(index < static_cast<i64>(shard.slots.size()));
+        WsHandle& hs = shard.slots[static_cast<std::size_t>(index)];
+        PARMVN_EXPECTS(hs.in_use);
+        in_flight_.fetch_add(1, std::memory_order_relaxed);
+        publish_to_epoch(task);
+        node.release();
+        bool have_affinity = false;
+        ndeps = apply_access(task, hs, acc.mode, have_affinity);
+      }
+      finish_submit(task, ndeps);
+      return;
+    }
+
     // Lock the shards this access list touches, in ascending order.
     // Holding all of them for the whole hazard phase makes the update
     // atomic against any overlapping submission (they share a shard), which
@@ -232,13 +257,7 @@ class WsImpl final : public Runtime::Impl {
     }
 
     in_flight_.fetch_add(1, std::memory_order_relaxed);
-    // Publish epoch ownership (lock-free Treiber push; finish_epoch walks
-    // and frees). From here on the node must not be freed on this path.
-    task->next_all = all_tasks_.load(std::memory_order_relaxed);
-    while (!all_tasks_.compare_exchange_weak(task->next_all, task,
-                                             std::memory_order_release,
-                                             std::memory_order_relaxed)) {
-    }
+    publish_to_epoch(task);
     node.release();
 
     i64 ndeps = 0;
@@ -246,36 +265,12 @@ class WsImpl final : public Runtime::Impl {
     for (const DataAccess& acc : accesses) {
       WsHandle& hs = shards_[shard_of(acc.handle)]
                          .slots[static_cast<std::size_t>(index_of(acc.handle))];
-      switch (acc.mode) {
-        case Access::kRead:
-          ndeps += add_dep(task, hs.last_writer);
-          hs.readers_since_write.push_back(task);
-          break;
-        case Access::kWrite:
-        case Access::kReadWrite:
-          if (!have_affinity) {
-            task->affinity_src = hs.last_writer;  // may be null: no affinity
-            have_affinity = true;
-          }
-          ndeps += add_dep(task, hs.last_writer);
-          for (WsTask* r : hs.readers_since_write)
-            ndeps += add_dep(task, r);
-          hs.readers_since_write.clear();
-          hs.last_writer = task;
-          break;
-      }
+      ndeps += apply_access(task, hs, acc.mode, have_affinity);
     }
     for (u64 mset = shard_mask; mset != 0; mset &= mset - 1)
       shard_locks[std::countr_zero(mset)].unlock();
 
-    // Lift the submission guard, crediting the registered dependencies; if
-    // they all completed already (or there were none) the count lands on
-    // zero and the submitter is the one that enqueues.
-    const i64 prev =
-        task->unmet.fetch_sub(kSubmitGuard - ndeps, std::memory_order_acq_rel);
-    if (prev - (kSubmitGuard - ndeps) == 0) {
-      if (enqueue_ready(task) == Placement::kOwnSurplus) signal_work();
-    }
+    finish_submit(task, ndeps);
   }
 
   void wait_all() override {
@@ -321,6 +316,53 @@ class WsImpl final : public Runtime::Impl {
     return static_cast<int>(h.id() % kShards);
   }
   static i64 index_of(DataHandle h) noexcept { return h.id() / kShards; }
+
+  // Publish epoch ownership (lock-free Treiber push; finish_epoch walks and
+  // frees). After this the node must not be freed on the submit path.
+  void publish_to_epoch(WsTask* task) {
+    task->next_all = all_tasks_.load(std::memory_order_relaxed);
+    while (!all_tasks_.compare_exchange_weak(task->next_all, task,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed)) {
+    }
+  }
+
+  // Hazard bookkeeping for one access under its shard lock: registers the
+  // dependency edges the access implies and updates the handle's
+  // last-writer/reader state. Returns the number of edges added.
+  i64 apply_access(WsTask* task, WsHandle& hs, Access mode,
+                   bool& have_affinity) {
+    i64 ndeps = 0;
+    switch (mode) {
+      case Access::kRead:
+        ndeps += add_dep(task, hs.last_writer);
+        hs.readers_since_write.push_back(task);
+        break;
+      case Access::kWrite:
+      case Access::kReadWrite:
+        if (!have_affinity) {
+          task->affinity_src = hs.last_writer;  // may be null: no affinity
+          have_affinity = true;
+        }
+        ndeps += add_dep(task, hs.last_writer);
+        for (WsTask* r : hs.readers_since_write) ndeps += add_dep(task, r);
+        hs.readers_since_write.clear();
+        hs.last_writer = task;
+        break;
+    }
+    return ndeps;
+  }
+
+  // Lift the submission guard, crediting the registered dependencies; if
+  // they all completed already (or there were none) the count lands on zero
+  // and the submitter is the one that enqueues.
+  void finish_submit(WsTask* task, i64 ndeps) {
+    const i64 prev =
+        task->unmet.fetch_sub(kSubmitGuard - ndeps, std::memory_order_acq_rel);
+    if (prev - (kSubmitGuard - ndeps) == 0) {
+      if (enqueue_ready(task) == Placement::kOwnSurplus) signal_work();
+    }
+  }
 
   // Register `task`'s dependency on `dep` unless dep already completed;
   // returns the number of edges added (0 or 1) for the submitter's local

@@ -1,0 +1,273 @@
+#include "vecchia/ordering.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace parmvn::vecchia {
+
+namespace {
+
+constexpr i64 kExactMaxminCutoff = 4096;
+
+struct BBox {
+  double xmin = std::numeric_limits<double>::infinity();
+  double ymin = std::numeric_limits<double>::infinity();
+  double xmax = -std::numeric_limits<double>::infinity();
+  double ymax = -std::numeric_limits<double>::infinity();
+};
+
+BBox bounding_box(std::span<const double> xy) {
+  BBox b;
+  const i64 n = static_cast<i64>(xy.size()) / 2;
+  for (i64 i = 0; i < n; ++i) {
+    const double x = xy[static_cast<std::size_t>(2 * i)];
+    const double y = xy[static_cast<std::size_t>(2 * i + 1)];
+    b.xmin = std::min(b.xmin, x);
+    b.ymin = std::min(b.ymin, y);
+    b.xmax = std::max(b.xmax, x);
+    b.ymax = std::max(b.ymax, y);
+  }
+  return b;
+}
+
+double dist2(std::span<const double> xy, i64 i, i64 j) {
+  const double dx = xy[static_cast<std::size_t>(2 * i)] -
+                    xy[static_cast<std::size_t>(2 * j)];
+  const double dy = xy[static_cast<std::size_t>(2 * i + 1)] -
+                    xy[static_cast<std::size_t>(2 * j + 1)];
+  return dx * dx + dy * dy;
+}
+
+// Exact greedy maxmin: seed with the point farthest from the centroid, then
+// repeatedly take the point whose min distance to the selected set is
+// largest (ties toward the smaller index). O(n^2) via the standard
+// min-distance array update.
+std::vector<i64> maxmin_exact(std::span<const double> xy) {
+  const i64 n = static_cast<i64>(xy.size()) / 2;
+  double cx = 0.0;
+  double cy = 0.0;
+  for (i64 i = 0; i < n; ++i) {
+    cx += xy[static_cast<std::size_t>(2 * i)];
+    cy += xy[static_cast<std::size_t>(2 * i + 1)];
+  }
+  cx /= static_cast<double>(n);
+  cy /= static_cast<double>(n);
+
+  i64 first = 0;
+  double best = -1.0;
+  for (i64 i = 0; i < n; ++i) {
+    const double dx = xy[static_cast<std::size_t>(2 * i)] - cx;
+    const double dy = xy[static_cast<std::size_t>(2 * i + 1)] - cy;
+    const double d = dx * dx + dy * dy;
+    if (d > best) {
+      best = d;
+      first = i;
+    }
+  }
+
+  std::vector<i64> order;
+  order.reserve(static_cast<std::size_t>(n));
+  order.push_back(first);
+  std::vector<double> mind(static_cast<std::size_t>(n),
+                           std::numeric_limits<double>::infinity());
+  std::vector<char> taken(static_cast<std::size_t>(n), 0);
+  taken[static_cast<std::size_t>(first)] = 1;
+  for (i64 i = 0; i < n; ++i)
+    if (!taken[static_cast<std::size_t>(i)])
+      mind[static_cast<std::size_t>(i)] = dist2(xy, i, first);
+
+  for (i64 k = 1; k < n; ++k) {
+    i64 pick = -1;
+    double far = -1.0;
+    for (i64 i = 0; i < n; ++i) {
+      if (taken[static_cast<std::size_t>(i)]) continue;
+      if (mind[static_cast<std::size_t>(i)] > far) {
+        far = mind[static_cast<std::size_t>(i)];
+        pick = i;
+      }
+    }
+    order.push_back(pick);
+    taken[static_cast<std::size_t>(pick)] = 1;
+    for (i64 i = 0; i < n; ++i) {
+      if (taken[static_cast<std::size_t>(i)]) continue;
+      mind[static_cast<std::size_t>(i)] =
+          std::min(mind[static_cast<std::size_t>(i)], dist2(xy, i, pick));
+    }
+  }
+  return order;
+}
+
+// Coarse-to-fine grid-level approximation for large n: at level L the
+// domain is a 2^L x 2^L grid and each non-empty cell's representative (the
+// point nearest the cell centre, ties toward the smaller index) is emitted
+// unless already emitted at a coarser level. Cells are visited in row-major
+// order, so the result is deterministic. Early levels are spread across the
+// domain exactly like exact maxmin's early picks; within-level spacing is
+// cell-width accurate, which is all the conditioning sets need.
+std::vector<i64> maxmin_grid_levels(std::span<const double> xy) {
+  const i64 n = static_cast<i64>(xy.size()) / 2;
+  const BBox b = bounding_box(xy);
+  const double wx = std::max(b.xmax - b.xmin, 1e-300);
+  const double wy = std::max(b.ymax - b.ymin, 1e-300);
+
+  std::vector<i64> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<char> taken(static_cast<std::size_t>(n), 0);
+  i64 remaining = n;
+
+  for (int level = 0; level < 32 && remaining > 0; ++level) {
+    const i64 side = i64{1} << level;
+    // cell -> representative candidate (best dist2 to centre, then index)
+    std::vector<i64> rep(static_cast<std::size_t>(side * side), -1);
+    std::vector<double> repd(static_cast<std::size_t>(side * side), 0.0);
+    for (i64 i = 0; i < n; ++i) {
+      const double x = xy[static_cast<std::size_t>(2 * i)];
+      const double y = xy[static_cast<std::size_t>(2 * i + 1)];
+      i64 cxi = static_cast<i64>((x - b.xmin) / wx * static_cast<double>(side));
+      i64 cyi = static_cast<i64>((y - b.ymin) / wy * static_cast<double>(side));
+      cxi = std::clamp(cxi, i64{0}, side - 1);
+      cyi = std::clamp(cyi, i64{0}, side - 1);
+      const std::size_t c = static_cast<std::size_t>(cyi * side + cxi);
+      const double ccx =
+          b.xmin + (static_cast<double>(cxi) + 0.5) * wx / static_cast<double>(side);
+      const double ccy =
+          b.ymin + (static_cast<double>(cyi) + 0.5) * wy / static_cast<double>(side);
+      const double d = (x - ccx) * (x - ccx) + (y - ccy) * (y - ccy);
+      if (rep[c] < 0 || d < repd[c]) {
+        rep[c] = i;
+        repd[c] = d;
+      }
+    }
+    for (std::size_t c = 0; c < rep.size(); ++c) {
+      const i64 i = rep[c];
+      if (i >= 0 && !taken[static_cast<std::size_t>(i)]) {
+        taken[static_cast<std::size_t>(i)] = 1;
+        order.push_back(i);
+        --remaining;
+      }
+    }
+  }
+  // Duplicate coordinates never become their own representative; append
+  // them (and anything past the level cap) in index order.
+  for (i64 i = 0; i < n && remaining > 0; ++i)
+    if (!taken[static_cast<std::size_t>(i)]) {
+      order.push_back(i);
+      --remaining;
+    }
+  return order;
+}
+
+}  // namespace
+
+std::vector<i64> maxmin_order(std::span<const double> xy) {
+  PARMVN_EXPECTS(xy.size() % 2 == 0);
+  const i64 n = static_cast<i64>(xy.size()) / 2;
+  if (n == 0) return {};
+  if (n <= kExactMaxminCutoff) return maxmin_exact(xy);
+  return maxmin_grid_levels(xy);
+}
+
+ConditioningSets nearest_predecessors(std::span<const double> xy, i64 m) {
+  PARMVN_EXPECTS(xy.size() % 2 == 0);
+  PARMVN_EXPECTS(m >= 1);
+  const i64 n = static_cast<i64>(xy.size()) / 2;
+
+  ConditioningSets sets;
+  sets.offsets.assign(static_cast<std::size_t>(n + 1), 0);
+  if (n == 0) return sets;
+  sets.neighbors.reserve(static_cast<std::size_t>(
+      std::min(n * m, n * (n - 1) / 2 + 1)));
+
+  const BBox b = bounding_box(xy);
+  const double wx = std::max(b.xmax - b.xmin, 1e-300);
+  const double wy = std::max(b.ymax - b.ymin, 1e-300);
+  // ~2 points per cell when full; rings stay shallow once the index fills.
+  const i64 side =
+      std::max<i64>(1, static_cast<i64>(std::sqrt(static_cast<double>(n) / 2.0)));
+  // Conservative per-ring distance bound: the smaller cell extent (the
+  // bbox may be anisotropic), so early termination never misses a closer
+  // point in an unscanned ring.
+  const double cw = std::min(wx, wy) / static_cast<double>(side);
+  std::vector<std::vector<i64>> cells(static_cast<std::size_t>(side * side));
+  const auto cell_of = [&](i64 i) {
+    i64 cxi = static_cast<i64>((xy[static_cast<std::size_t>(2 * i)] - b.xmin) /
+                               wx * static_cast<double>(side));
+    i64 cyi = static_cast<i64>(
+        (xy[static_cast<std::size_t>(2 * i + 1)] - b.ymin) / wy *
+        static_cast<double>(side));
+    cxi = std::clamp(cxi, i64{0}, side - 1);
+    cyi = std::clamp(cyi, i64{0}, side - 1);
+    return std::pair<i64, i64>{cxi, cyi};
+  };
+
+  // Worse = farther, ties toward the larger index; the heap top is the
+  // worst kept candidate, so the final sets prefer near-then-small-index.
+  using Cand = std::pair<double, i64>;  // (dist2, site)
+  const auto worse = [](const Cand& a, const Cand& b2) {
+    return a.first < b2.first ||
+           (a.first == b2.first && a.second < b2.second);
+  };
+  std::priority_queue<Cand, std::vector<Cand>, decltype(worse)> heap(worse);
+  std::vector<i64> nb;
+  nb.reserve(static_cast<std::size_t>(m));
+
+  for (i64 i = 0; i < n; ++i) {
+    const auto [ci, cj] = cell_of(i);
+    while (!heap.empty()) heap.pop();
+    for (i64 ring = 0; ring < side; ++ring) {
+      // Stop once the heap is full and even the nearest point of this ring
+      // (>= (ring - 1) * cell width away) cannot beat the worst kept one.
+      if (static_cast<i64>(heap.size()) == m && ring >= 2) {
+        const double reach = static_cast<double>(ring - 1) * cw;
+        if (reach * reach > heap.top().first) break;
+      }
+      const i64 x0 = ci - ring;
+      const i64 x1 = ci + ring;
+      const i64 y0 = cj - ring;
+      const i64 y1 = cj + ring;
+      // Ring cells in fixed row-major order (top row, bottom row, then the
+      // two side columns) for determinism.
+      const auto scan_cell = [&](i64 cx, i64 cy) {
+        if (cx < 0 || cy < 0 || cx >= side || cy >= side) return;
+        for (const i64 j : cells[static_cast<std::size_t>(cy * side + cx)]) {
+          const Cand c{dist2(xy, i, j), j};
+          if (static_cast<i64>(heap.size()) < m) {
+            heap.push(c);
+          } else if (worse(c, heap.top())) {
+            heap.pop();
+            heap.push(c);
+          }
+        }
+      };
+      if (ring == 0) {
+        scan_cell(ci, cj);
+      } else {
+        for (i64 cx = x0; cx <= x1; ++cx) scan_cell(cx, y0);
+        for (i64 cx = x0; cx <= x1; ++cx) scan_cell(cx, y1);
+        for (i64 cy = y0 + 1; cy <= y1 - 1; ++cy) {
+          scan_cell(x0, cy);
+          scan_cell(x1, cy);
+        }
+      }
+    }
+    nb.clear();
+    while (!heap.empty()) {
+      nb.push_back(heap.top().second);
+      heap.pop();
+    }
+    std::sort(nb.begin(), nb.end());
+    sets.neighbors.insert(sets.neighbors.end(), nb.begin(), nb.end());
+    sets.offsets[static_cast<std::size_t>(i + 1)] =
+        static_cast<i64>(sets.neighbors.size());
+
+    cells[static_cast<std::size_t>(cj * side + ci)].push_back(i);
+  }
+  return sets;
+}
+
+}  // namespace parmvn::vecchia

@@ -1,0 +1,56 @@
+// Orderings and conditioning sets for the Vecchia approximation.
+//
+// A Vecchia factor is defined by (1) an integration order over the sites
+// and (2) per-site conditioning sets drawn from each site's *predecessors*
+// in that order. This header provides both building blocks:
+//
+//  * maxmin_order(): the classical maximum-minimum-distance ordering
+//    (Guinness's recommendation for Vecchia accuracy): each picked point
+//    maximises its distance to everything picked before it, so early points
+//    are spread coarsely across the domain and every site conditions on a
+//    multi-scale neighbourhood. Exact greedy O(n^2) for small n; a
+//    deterministic coarse-to-fine grid-level approximation above that.
+//    Confidence-region sweeps do NOT use this — their order is dictated by
+//    descending marginal probability (the prefix estimand) — but plain PMVN
+//    queries and benchmarks do.
+//
+//  * nearest_predecessors(): for each site i (in whatever order the
+//    coordinates arrive, i.e. after any permutation has been applied), the
+//    up-to-m nearest earlier sites, found through an incremental uniform
+//    grid index in O(n * m) expected time. Deterministic: candidate cells
+//    are scanned in a fixed ring order and ties in distance break toward
+//    the smaller site index, so the sets are a pure function of the input.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace parmvn::vecchia {
+
+/// Coordinates are flat (x0, y0, x1, y1, ...) as produced by
+/// la::MatrixGenerator::coords_xy().
+[[nodiscard]] std::vector<i64> maxmin_order(std::span<const double> xy);
+
+/// CSR conditioning sets: neighbors[offsets[i] .. offsets[i+1]) are the
+/// conditioning sites of site i, each < i, sorted ascending.
+struct ConditioningSets {
+  std::vector<i64> offsets;   // size n + 1
+  std::vector<i64> neighbors;
+
+  [[nodiscard]] i64 count(i64 i) const noexcept {
+    return offsets[static_cast<std::size_t>(i + 1)] -
+           offsets[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] std::span<const i64> of(i64 i) const noexcept {
+    return {neighbors.data() + offsets[static_cast<std::size_t>(i)],
+            static_cast<std::size_t>(count(i))};
+  }
+};
+
+/// Up-to-m nearest predecessors per site under Euclidean distance.
+[[nodiscard]] ConditioningSets nearest_predecessors(std::span<const double> xy,
+                                                    i64 m);
+
+}  // namespace parmvn::vecchia

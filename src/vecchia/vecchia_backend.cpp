@@ -1,0 +1,23 @@
+#include "vecchia/vecchia_backend.hpp"
+
+#include "linalg/blas.hpp"
+
+namespace parmvn::vecchia {
+
+void VecchiaBackend::accumulate_external(i64 r,
+                                         std::span<const la::Matrix> y_panels,
+                                         i64 row_off, i64 nrows,
+                                         la::MatrixView mean_tile) const {
+  // mean(:, dst) += w * Y[src_tile](:, src_col) over the column tile's
+  // sample rows: one unit-stride axpy per cross-tile weight, in the fixed
+  // (dst_col, global source) order the factor stored them in. Per-sample
+  // independence keeps fused batches bitwise equal to single-query runs.
+  for (const OffEntry& e : v_->off_entries(r)) {
+    const la::ConstMatrixView src =
+        y_panels[static_cast<std::size_t>(e.src_tile)].view();
+    la::axpy(nrows, e.w, src.col(e.src_col) + row_off,
+             mean_tile.col(e.dst_col));
+  }
+}
+
+}  // namespace parmvn::vecchia

@@ -1,0 +1,52 @@
+// FactorBackend adapter for the Vecchia factor (mean-panel protocol).
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "engine/factor_backend.hpp"
+#include "vecchia/vecchia_factor.hpp"
+
+namespace parmvn::vecchia {
+
+class VecchiaBackend final : public engine::FactorBackend {
+ public:
+  explicit VecchiaBackend(std::shared_ptr<const VecchiaFactor> v)
+      : v_(std::move(v)) {
+    PARMVN_EXPECTS(v_ != nullptr);
+  }
+
+  [[nodiscard]] engine::FactorKind kind() const noexcept override {
+    return engine::FactorKind::kVecchia;
+  }
+  [[nodiscard]] i64 dim() const noexcept override { return v_->dim(); }
+  [[nodiscard]] i64 tile_size() const noexcept override {
+    return v_->tile_size();
+  }
+  [[nodiscard]] i64 row_tiles() const noexcept override {
+    return v_->row_tiles();
+  }
+  [[nodiscard]] i64 tile_rows(i64 r) const noexcept override {
+    return v_->tile_rows(r);
+  }
+
+  [[nodiscard]] la::ConstMatrixView diag_view(i64 r) const override {
+    return v_->diag(r);
+  }
+  [[nodiscard]] rt::DataHandle diag_handle(i64 r) const override {
+    return v_->diag_handle(r);
+  }
+
+  [[nodiscard]] bool mean_panel_form() const noexcept override { return true; }
+
+  void accumulate_external(i64 r, std::span<const la::Matrix> y_panels,
+                           i64 row_off, i64 nrows,
+                           la::MatrixView mean_tile) const override;
+
+  [[nodiscard]] const VecchiaFactor& factor() const noexcept { return *v_; }
+
+ private:
+  std::shared_ptr<const VecchiaFactor> v_;
+};
+
+}  // namespace parmvn::vecchia

@@ -1,0 +1,153 @@
+#include "vecchia/vecchia_factor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/timer.hpp"
+
+namespace parmvn::vecchia {
+
+namespace {
+
+// Sites per fitting task: each solve is O(m^3) on an (<= m)-dim local
+// system, so a chunk amortises task overhead without starving parallelism.
+constexpr i64 kFitChunk = 512;
+
+// Regression weights and conditional sd of site i given its conditioning
+// set: one local Cholesky solve, entirely in stack/thread-local storage.
+// Deterministic: plain ascending-index loops, no reduction reassociation.
+void fit_site(const la::MatrixGenerator& gen, i64 i, std::span<const i64> nb,
+              la::MatrixView c, double* z, double* w_out, double* d_out) {
+  const i64 k = static_cast<i64>(nb.size());
+  const double kii = gen.entry(i, i);
+  if (k == 0) {
+    PARMVN_EXPECTS(kii > 0.0);
+    *d_out = std::sqrt(kii);
+    return;
+  }
+  for (i64 q = 0; q < k; ++q)
+    for (i64 p = q; p < k; ++p)
+      c(p, q) = gen.entry(nb[static_cast<std::size_t>(p)],
+                          nb[static_cast<std::size_t>(q)]);
+  // In-place lower Cholesky of the k x k local covariance.
+  for (i64 q = 0; q < k; ++q) {
+    double diag = c(q, q);
+    for (i64 t = 0; t < q; ++t) diag -= c(q, t) * c(q, t);
+    if (!(diag > 0.0))
+      throw Error("VecchiaFactor: conditioning set covariance not SPD at site " +
+                  std::to_string(i));
+    const double l = std::sqrt(diag);
+    c(q, q) = l;
+    for (i64 p = q + 1; p < k; ++p) {
+      double s = c(p, q);
+      for (i64 t = 0; t < q; ++t) s -= c(p, t) * c(q, t);
+      c(p, q) = s / l;
+    }
+  }
+  // Forward substitution L z = k_ci.
+  for (i64 p = 0; p < k; ++p) {
+    double s = gen.entry(nb[static_cast<std::size_t>(p)], i);
+    for (i64 t = 0; t < p; ++t) s -= c(p, t) * z[t];
+    z[p] = s / c(p, p);
+  }
+  double d2 = kii;
+  for (i64 p = 0; p < k; ++p) d2 -= z[p] * z[p];
+  if (!(d2 > 0.0))
+    throw Error(
+        "VecchiaFactor: non-positive conditional variance at site " +
+        std::to_string(i) + " (increase the nugget or reduce vecchia_m)");
+  *d_out = std::sqrt(d2);
+  // Back substitution L^T w = z.
+  for (i64 p = k - 1; p >= 0; --p) {
+    double s = z[p];
+    for (i64 t = p + 1; t < k; ++t) s -= c(t, p) * w_out[t];
+    w_out[p] = s / c(p, p);
+  }
+}
+
+}  // namespace
+
+VecchiaFactor VecchiaFactor::build(rt::Runtime& rt,
+                                   const la::MatrixGenerator& gen,
+                                   std::span<const double> xy, i64 tile,
+                                   i64 m) {
+  const i64 n = gen.rows();
+  PARMVN_EXPECTS(gen.cols() == n);
+  PARMVN_EXPECTS(static_cast<i64>(xy.size()) == 2 * n);
+  PARMVN_EXPECTS(tile >= 1);
+  PARMVN_EXPECTS(m >= 1);
+
+  VecchiaFactor f;
+  const WallTimer timer;
+  f.n_ = n;
+  f.tile_ = tile;
+  f.mt_ = (n + tile - 1) / tile;
+  f.m_ = m;
+  f.sets_ = nearest_predecessors(xy, m);
+  f.w_.assign(f.sets_.neighbors.size(), 0.0);
+  f.d_.assign(static_cast<std::size_t>(n), 0.0);
+
+  // Per-site local solves, chunked into independent tasks (each writes its
+  // own CSR slots, so no declared accesses are needed).
+  const ConditioningSets* sets = &f.sets_;
+  const la::MatrixGenerator* g = &gen;
+  double* weights = f.w_.data();
+  double* sds = f.d_.data();
+  for (i64 lo = 0; lo < n; lo += kFitChunk) {
+    const i64 hi = std::min(n, lo + kFitChunk);
+    rt.submit("vecchia_fit", {}, [g, sets, weights, sds, lo, hi, m] {
+      la::Matrix c(m, m);
+      std::vector<double> z(static_cast<std::size_t>(m), 0.0);
+      for (i64 i = lo; i < hi; ++i) {
+        const std::span<const i64> nb = sets->of(i);
+        fit_site(*g, i, nb, c.view(), z.data(),
+                 weights + sets->offsets[static_cast<std::size_t>(i)],
+                 sds + i);
+      }
+    });
+  }
+  rt.wait_all();
+
+  // Materialise the tiled form: dense lower-triangular local tiles plus
+  // sorted cross-tile entry lists (ascending target column, then ascending
+  // global source — the order the CSR walk below produces).
+  f.diag_.reserve(static_cast<std::size_t>(f.mt_));
+  f.off_.resize(static_cast<std::size_t>(f.mt_));
+  for (i64 r = 0; r < f.mt_; ++r) {
+    const i64 mr = f.tile_rows(r);
+    const i64 row0 = r * tile;
+    la::Matrix d(mr, mr);
+    for (i64 li = 0; li < mr; ++li) {
+      const i64 i = row0 + li;
+      d(li, li) = f.d_[static_cast<std::size_t>(i)];
+      const std::span<const i64> nb = f.sets_.of(i);
+      const double* wi =
+          f.w_.data() + f.sets_.offsets[static_cast<std::size_t>(i)];
+      for (std::size_t p = 0; p < nb.size(); ++p) {
+        const i64 k = nb[p];
+        if (k >= row0) {
+          d(li, k - row0) = wi[p];
+        } else {
+          f.off_[static_cast<std::size_t>(r)].push_back(
+              {static_cast<i32>(k / tile), static_cast<i32>(k % tile),
+               static_cast<i32>(li), wi[p]});
+        }
+      }
+    }
+    f.diag_.push_back(std::move(d));
+  }
+
+  f.lease_ = rt::HandleLease(rt);
+  f.diag_handles_.reserve(static_cast<std::size_t>(f.mt_));
+  for (i64 r = 0; r < f.mt_; ++r)
+    f.diag_handles_.push_back(
+        f.lease_.acquire(rt, "V" + std::to_string(r) + "," + std::to_string(r)));
+
+  f.build_seconds_ = timer.seconds();
+  return f;
+}
+
+}  // namespace parmvn::vecchia

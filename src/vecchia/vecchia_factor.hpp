@@ -1,0 +1,107 @@
+// Sparse inverse-Cholesky (Vecchia) factor — the third factor arm, for
+// fields whose dense/TLR Cholesky does not fit time or memory budgets.
+//
+// The Vecchia approximation replaces the joint density with a product of
+// low-dimensional conditionals: in the integration order, site i conditions
+// only on its m nearest predecessors c(i), giving
+//
+//   x_i = sum_{k in c(i)} w_ik x_k + d_i z_i,   z_i ~ N(0, 1)
+//
+// with the regression weights w_i = K_cc^{-1} k_ci and conditional sd
+// d_i = sqrt(k_ii - k_ci^T K_cc^{-1} k_ci) from one (|c| <= m)-dimensional
+// Cholesky solve per site: O(n m^3) build work and O(n m) memory, versus
+// O(n^3) / O(n^2) for a dense factor. Because conditioning sets contain
+// only predecessors, the running SOV product after row i is exactly the
+// Vecchia-approximate joint probability of the first i+1 sites — the
+// prefix estimand the confidence-region sweep needs — so the arm slots
+// into the same engine sweep.
+//
+// Storage is tiled to match the engine's panel sweep: per tile row r a
+// dense lower-triangular local tile D_r (diagonal = d_i, sub-diagonal =
+// weights on in-tile neighbours, consumed by the same strided-SIMD row
+// sweep as a Cholesky diagonal tile) plus a flat list of cross-tile weight
+// entries applied as unit-stride axpys. Handles are leased from the
+// runtime (rt::HandleLease) exactly like TileMatrix tiles, so cached
+// factors return their slots when evicted.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/generator.hpp"
+#include "linalg/matrix.hpp"
+#include "runtime/runtime.hpp"
+#include "vecchia/ordering.hpp"
+
+namespace parmvn::vecchia {
+
+/// One cross-tile regression weight into tile row r: mean-panel column
+/// dst_col accumulates w * Y[src_tile](:, src_col). Entries are stored
+/// sorted by (dst_col, global source index), fixing the accumulation order.
+struct OffEntry {
+  i32 src_tile = 0;
+  i32 src_col = 0;
+  i32 dst_col = 0;
+  double w = 0.0;
+};
+
+class VecchiaFactor {
+ public:
+  /// Build over `gen` (an SPD covariance/correlation generator, already in
+  /// integration order) with site coordinates `xy` (flat x,y pairs, also in
+  /// integration order — la::MatrixGenerator::coords_xy()). Per-site solves
+  /// run as parallel runtime tasks; blocks until done.
+  [[nodiscard]] static VecchiaFactor build(rt::Runtime& rt,
+                                           const la::MatrixGenerator& gen,
+                                           std::span<const double> xy,
+                                           i64 tile, i64 m);
+
+  [[nodiscard]] i64 dim() const noexcept { return n_; }
+  [[nodiscard]] i64 tile_size() const noexcept { return tile_; }
+  [[nodiscard]] i64 row_tiles() const noexcept { return mt_; }
+  [[nodiscard]] i64 tile_rows(i64 r) const noexcept {
+    return r == mt_ - 1 ? n_ - r * tile_ : tile_;
+  }
+  [[nodiscard]] i64 cond_m() const noexcept { return m_; }
+
+  /// Lower-triangular local conditioning tile D_r: D(i,i) = d_{r*tile+i},
+  /// D(i,k) = weight of in-tile neighbour k < i (0 when not a neighbour).
+  [[nodiscard]] la::ConstMatrixView diag(i64 r) const {
+    return diag_[static_cast<std::size_t>(r)].view();
+  }
+  [[nodiscard]] rt::DataHandle diag_handle(i64 r) const {
+    return diag_handles_[static_cast<std::size_t>(r)];
+  }
+  /// Cross-tile weights into tile row r, in application order.
+  [[nodiscard]] std::span<const OffEntry> off_entries(i64 r) const {
+    return off_[static_cast<std::size_t>(r)];
+  }
+
+  // Introspection for tests / validation.
+  [[nodiscard]] const ConditioningSets& sets() const noexcept { return sets_; }
+  [[nodiscard]] std::span<const double> weights() const noexcept { return w_; }
+  [[nodiscard]] std::span<const double> cond_sd() const noexcept { return d_; }
+
+  /// Wall-clock seconds spent building (conditioning sets + solves).
+  [[nodiscard]] double build_seconds() const noexcept {
+    return build_seconds_;
+  }
+
+ private:
+  VecchiaFactor() = default;
+
+  i64 n_ = 0;
+  i64 tile_ = 0;
+  i64 mt_ = 0;
+  i64 m_ = 0;
+  ConditioningSets sets_;
+  std::vector<double> w_;  // CSR weights aligned with sets_.neighbors
+  std::vector<double> d_;  // conditional sd per site
+  std::vector<la::Matrix> diag_;
+  std::vector<rt::DataHandle> diag_handles_;
+  std::vector<std::vector<OffEntry>> off_;
+  rt::HandleLease lease_;
+  double build_seconds_ = 0.0;
+};
+
+}  // namespace parmvn::vecchia

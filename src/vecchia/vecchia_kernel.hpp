@@ -1,0 +1,49 @@
+// The per-tile QMC chain step for the Vecchia factor — the mean-panel
+// counterpart of core::qmc_tile_kernel.
+//
+// Same sample-contiguous panel layout (rows = samples, columns = tile-local
+// dimensions) and the same batched Phi / Phi^-1 primitives; the protocol
+// differs because a Vecchia factor propagates *realized field values*, not
+// standardised innovations:
+//
+//   mu_j   = mean(j, i) + sum_{k<i in tile} D(i,k) y(j,k)   (strided gemv)
+//   a'_j   = (a_i - mu_j) / D(i,i),  b'_j = (b_i - mu_j) / D(i,i)
+//   u_j    = clamp(Phi(a') + w * (Phi(b') - Phi(a')), eps)
+//   y(j,i) = mu_j + D(i,i) * Phi^-1(u_j)
+//
+// `mean` carries the accumulated external conditional mean (zero plus every
+// cross-tile weight applied by VecchiaFactor's off entries); `a`/`b` are
+// the per-dimension query limits in the factor's ordered, standardised
+// space — constant down each column, so they are passed as spans instead
+// of replicated panels. The per-sample arithmetic depends only on the
+// dimension index, preserving the batched==single and worker-count
+// determinism contracts.
+#pragma once
+
+#include <span>
+
+#include "linalg/matrix.hpp"
+#include "stats/qmc.hpp"
+
+namespace parmvn::vecchia {
+
+/// Process one (tile-row, tile-column) block.
+///
+/// @param d     m x m lower-triangular local conditioning tile
+///              (VecchiaFactor::diag)
+/// @param pts   sample set; dimension index = row0 + local column,
+///              sample index = col0 + local row
+/// @param row0  global row (dimension) offset of this tile
+/// @param col0  global sample offset of this tile column
+/// @param a,b   m-length spans of this tile's lower/upper limits
+/// @param mean  mc x m external conditional mean tile (read-only)
+/// @param y     mc x m output tile of realized values, sample-contiguous
+/// @param p     mc running per-sample probability products (updated)
+/// @param prefix_acc optional array of length m accumulating the per-row
+///              running-product sums (see core::qmc_tile_kernel)
+void vecchia_tile_kernel(la::ConstMatrixView d, const stats::PointSet& pts,
+                         i64 row0, i64 col0, std::span<const double> a,
+                         std::span<const double> b, la::ConstMatrixView mean,
+                         la::MatrixView y, double* p, double* prefix_acc);
+
+}  // namespace parmvn::vecchia

@@ -111,7 +111,8 @@ TEST(PmvnEngine, BatchedMatchesSingleQueryBitwise) {
   std::vector<i64> identity(static_cast<std::size_t>(n));
   std::iota(identity.begin(), identity.end(), i64{0});
   for (const engine::FactorKind kind :
-       {engine::FactorKind::kDense, engine::FactorKind::kTlr}) {
+       {engine::FactorKind::kDense, engine::FactorKind::kTlr,
+        engine::FactorKind::kVecchia}) {
     const engine::FactorSpec spec{kind, 16, 1e-7, -1};
     auto factor = std::make_shared<const engine::CholeskyFactor>(
         engine::CholeskyFactor::factor_ordered(rt, *pb.cov, identity, spec));
@@ -287,6 +288,33 @@ TEST(FactorCache, HitsMissesAndLru) {
 
   cache.clear();
   EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(FactorCache, VecchiaConditioningSizeIsPartOfTheKey) {
+  // Two specs differing only in vecchia_m describe different factors (more
+  // conditioning = a different sparse inverse-Cholesky); the cache must
+  // never serve one for the other.
+  const SpatialProblem pb(5);
+  rt::Runtime rt(2);
+  std::vector<i64> identity(static_cast<std::size_t>(pb.n()));
+  std::iota(identity.begin(), identity.end(), i64{0});
+  engine::FactorSpec m8{engine::FactorKind::kVecchia, 16, 0.0, -1};
+  m8.vecchia_m = 8;
+  engine::FactorSpec m12 = m8;
+  m12.vecchia_m = 12;
+
+  engine::FactorCache cache(4);
+  const auto f8 = cache.get_or_factor(rt, *pb.cov, identity, m8);
+  const auto f12 = cache.get_or_factor(rt, *pb.cov, identity, m12);
+  EXPECT_NE(f8.get(), f12.get());
+  EXPECT_EQ(cache.stats().misses, 2);
+  EXPECT_EQ(cache.stats().hits, 0);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(f8->vecchia().cond_m(), 8);
+  EXPECT_EQ(f12->vecchia().cond_m(), 12);
+  // And each spec hits its own entry on re-request.
+  EXPECT_EQ(cache.get_or_factor(rt, *pb.cov, identity, m8).get(), f8.get());
+  EXPECT_EQ(cache.stats().hits, 1);
 }
 
 TEST(FactorCache, NonCacheableGeneratorAlwaysFactors) {
