@@ -163,12 +163,16 @@ class WsDeque {
     return item;
   }
 
-  /// Racy emptiness hint for scan loops — never a correctness signal.
-  [[nodiscard]] bool empty_hint() const noexcept {
+  /// Racy size hint (stale top/bottom may over- or under-report; a negative
+  /// value is a transient artefact of a mid-pop reservation). Scan-loop
+  /// heuristic only — never a correctness signal.
+  [[nodiscard]] i64 size_hint() const noexcept {
     return bottom_.load(std::memory_order_relaxed) -
-               top_.load(std::memory_order_relaxed) <=
-           0;
+           top_.load(std::memory_order_relaxed);
   }
+
+  /// Racy emptiness hint for scan loops — never a correctness signal.
+  [[nodiscard]] bool empty_hint() const noexcept { return size_hint() <= 0; }
 
  private:
   static constexpr i64 kDefaultCapacity = 256;

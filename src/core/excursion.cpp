@@ -290,6 +290,7 @@ std::vector<CrdResult> detect_confidence_regions(
       res.samples_used = qr.samples_used;
       res.shifts_used = qr.shifts_used;
       res.converged = qr.converged;
+      res.method = qr.method;
       std::vector<double> prefix = (--slot_remaining[slot] == 0)
                                        ? std::move(qr.prefix_prob)
                                        : qr.prefix_prob;

@@ -94,6 +94,9 @@ struct CrdResult {
                                     // shared-slot members report the same)
   int shifts_used = 0;              // shift blocks actually evaluated
   bool converged = false;           // adaptive stop criterion met
+  /// kEp when the tiered EP screen (PmvnOptions::tiered) decided this
+  /// query's region without spending QMC samples on it.
+  engine::EvalMethod method = engine::EvalMethod::kQmc;
 };
 
 /// Detect the confidence region for the Gaussian field X ~ N(mean, cov).

@@ -20,6 +20,8 @@ engine::EngineOptions engine_options(const PmvnOptions& opts) {
   eo.crn = opts.crn;
   eo.crn_seed = opts.crn_seed;
   eo.antithetic = opts.antithetic;
+  eo.tiered = opts.tiered;
+  eo.ep_margin = opts.ep_margin;
   return eo;
 }
 
@@ -40,6 +42,7 @@ PmvnResult run_single(rt::Runtime& rt, engine::CholeskyFactor factor,
   result.samples_used = qr.samples_used;
   result.shifts_used = qr.shifts_used;
   result.converged = qr.converged;
+  result.method = qr.method;
   return result;
 }
 

@@ -54,6 +54,8 @@ struct PmvnOptions {
   bool crn = false;
   u64 crn_seed = 42;
   bool antithetic = false;
+  bool tiered = false;
+  double ep_margin = 0.05;
 
   [[nodiscard]] i64 total_samples() const noexcept {
     return samples_per_shift * static_cast<i64>(shifts);
@@ -68,6 +70,8 @@ struct PmvnResult {
   i64 samples_used = 0;             // samples actually evaluated
   int shifts_used = 0;              // shift blocks actually evaluated
   bool converged = false;           // adaptive stop criterion met (see engine)
+  /// kEp when the tiered EP screen decided the query without QMC samples.
+  engine::EvalMethod method = engine::EvalMethod::kQmc;
 };
 
 /// PMVN with a dense tiled lower Cholesky factor (lower-symmetric layout).

@@ -85,7 +85,7 @@ SovResult sov_block_estimate(la::ConstMatrixView l, std::span<const double> a,
   };
 
   SovResult res;
-  if (opts.abs_tol <= 0.0) {
+  if (opts.abs_tol <= 0.0 && std::isnan(opts.decision)) {
     // Fixed budget: one sweep over the whole stream (the pre-adaptive code
     // path, bitwise preserved).
     sov_panel_sweep(l, a, b, pts, dim0, 0, pts.num_samples(), scale, nullptr,
@@ -99,24 +99,39 @@ SovResult sov_block_estimate(la::ConstMatrixView l, std::span<const double> a,
   }
 
   // Adaptive: one shift block (one antithetic pair) per round, stop as soon
-  // as the running 3-sigma estimate fits the budget. The estimate gates a
-  // decision, so at least two (independent) blocks are required.
+  // as the running estimate meets a criterion — 3-sigma spread under the
+  // abs_tol budget, or the decision threshold cleanly outside the 3-sigma
+  // band (the result's side of the threshold is then settled; more samples
+  // only sharpen a decided number). The estimate gates a decision, so at
+  // least two (independent) blocks are required.
   PARMVN_EXPECTS(opts.shifts >= 2);
   PARMVN_EXPECTS(opts.min_shifts >= 2);
   const int step = opts.antithetic ? 2 : 1;
   int done = 0;
+  bool converged = false;
   stats::BlockEstimate est;
   while (done < opts.shifts) {
     sov_panel_sweep(l, a, b, pts, dim0, static_cast<i64>(done) * sps,
                     static_cast<i64>(step) * sps, scale, nullptr, consume);
     done += step;
     est = estimate(done);
-    if (done >= opts.min_shifts && est.error3sigma <= opts.abs_tol) break;
+    if (done >= opts.min_shifts) {
+      const bool tol_met = opts.abs_tol > 0.0 && est.error3sigma <= opts.abs_tol;
+      const bool decided =
+          !std::isnan(opts.decision) &&
+          (est.mean + est.error3sigma < opts.decision ||
+           est.mean - est.error3sigma > opts.decision);
+      if (tol_met || decided) {
+        converged = true;
+        break;
+      }
+    }
   }
   res.prob = est.mean;
   res.error3sigma = est.error3sigma;
   res.samples_used = static_cast<i64>(done) * sps;
   res.shifts_used = done;
+  res.converged = converged;
   return res;
 }
 

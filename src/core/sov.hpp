@@ -10,6 +10,7 @@
 #pragma once
 
 #include <functional>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -31,6 +32,14 @@ struct SovOptions {
   /// Blocks evaluated before the first stop decision (>= 2: a lone block's
   /// error estimate is infinite and must never gate a stop).
   int min_shifts = 2;
+  /// Decision threshold: when finite, the block-adaptive path also engages
+  /// (even with abs_tol == 0) and stops as soon as the running estimate
+  /// clears the threshold by its 3-sigma band — the per-query contract the
+  /// engine's adaptive tier uses, here available to the sequential oracles
+  /// (and through mvt_probability_chol, to the Student-t path). NaN (the
+  /// default) disables it; with abs_tol also 0 the classic fixed-budget
+  /// sweep stays bitwise unchanged.
+  double decision = std::numeric_limits<double>::quiet_NaN();
   /// Antithetic shift pairs (see stats::PointSet); `shifts` must be even.
   bool antithetic = false;
 
@@ -44,6 +53,10 @@ struct SovResult {
   double error3sigma = 0.0;  // 3-sigma spread of the shift-block means
   i64 samples_used = 0;      // samples actually evaluated
   int shifts_used = 0;       // shift blocks actually evaluated
+  /// Adaptive paths: whether an early-stop criterion (abs_tol or decision
+  /// clearance) was met before the budget cap. Always true on the classic
+  /// fixed-budget sweep (the full budget *is* the contract there).
+  bool converged = true;
 };
 
 /// MVN probability given the lower Cholesky factor of Sigma.

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "engine/factor_backend.hpp"
+#include "ep/site_cache.hpp"
 #include "linalg/generator.hpp"
 #include "linalg/matrix.hpp"
 #include "runtime/runtime.hpp"
@@ -144,6 +145,14 @@ class CholeskyFactor {
   [[nodiscard]] const tlr::TlrMatrix& tlr() const;
   [[nodiscard]] const vecchia::VecchiaFactor& vecchia() const;
 
+  /// EP warm-start store riding along with the factor (internally
+  /// synchronised, so usable through shared_ptr<const CholeskyFactor>):
+  /// tiered evaluation seeds each screen from the nearest previously
+  /// converged site state for this factor — bisection neighbours are 1-2
+  /// refine sweeps apart. Cached factors keep their sites across serving
+  /// calls for free, since the store lives inside the cached object.
+  [[nodiscard]] ep::SiteCache& ep_cache() const noexcept { return *ep_cache_; }
+
  private:
   CholeskyFactor() = default;
 
@@ -151,6 +160,7 @@ class CholeskyFactor {
   std::vector<i64> order_;
   std::vector<double> sd_;
   double factor_seconds_ = 0.0;
+  std::shared_ptr<ep::SiteCache> ep_cache_ = std::make_shared<ep::SiteCache>();
 };
 
 }  // namespace parmvn::engine

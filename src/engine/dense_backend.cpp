@@ -16,4 +16,25 @@ void DenseBackend::apply_update(i64 i, i64 r, la::ConstMatrixView y,
   la::gemm(la::Trans::kNo, la::Trans::kYes, -1.0, y, lir, 1.0, b);
 }
 
+double DenseBackend::ep_row(
+    i64 k, std::vector<std::pair<i64, double>>& parents) const {
+  parents.clear();
+  const i64 m = l_->tile_size();
+  const i64 kt = k / m;
+  const i64 l = k % m;
+  for (i64 r = 0; r < kt; ++r) {
+    const la::ConstMatrixView t = l_->tile(kt, r);
+    for (i64 c = 0; c < t.cols; ++c) {
+      const double w = t(l, c);
+      if (w != 0.0) parents.emplace_back(r * m + c, w);
+    }
+  }
+  const la::ConstMatrixView diag = l_->tile(kt, kt);
+  for (i64 c = 0; c < l; ++c) {
+    const double w = diag(l, c);
+    if (w != 0.0) parents.emplace_back(kt * m + c, w);
+  }
+  return diag(l, l);
+}
+
 }  // namespace parmvn::engine

@@ -45,6 +45,9 @@ class DenseBackend final : public FactorBackend {
   void apply_update(i64 i, i64 r, la::ConstMatrixView y, la::MatrixView a,
                     la::MatrixView b) const override;
 
+  double ep_row(i64 k,
+                std::vector<std::pair<i64, double>>& parents) const override;
+
   [[nodiscard]] const tile::TileMatrix& matrix() const noexcept { return *l_; }
 
  private:

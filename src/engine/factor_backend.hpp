@@ -39,6 +39,7 @@
 #pragma once
 
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/contracts.hpp"
@@ -108,6 +109,27 @@ class FactorBackend {
     (void)mean_tile;
     PARMVN_ASSERT(!"accumulate_external: backend uses reduced-limit panels");
   }
+
+  // ---- EP screening-row protocol (ep/ep_screen.hpp) ----
+  //
+  // Every arm expresses ordered coordinate k generatively as
+  //   x_k = sum_j coef_j * s_j + d_k * z_k,   z_k ~ N(0, 1),
+  // over parent slots s_j with j < k. Two slot spaces:
+  //  * latent (dense, TLR — ep_latent_slots() == true): the slots are the
+  //    Cholesky innovations z_j, coefficients are row k of L, d_k = L_kk;
+  //  * observed (Vecchia — false): the slots are earlier coordinates x_j,
+  //    coefficients are the conditioning-set regression weights, d_k the
+  //    conditional sd, and z_k is private noise with no slot of its own.
+
+  [[nodiscard]] virtual bool ep_latent_slots() const noexcept { return true; }
+
+  /// Fill `parents` (cleared first) with row k's (slot, coefficient) pairs
+  /// in ascending slot order — a fixed order, so the EP screen's reductions
+  /// are deterministic — and return the innovation sd d_k. TLR backends
+  /// materialise the row from U V^T on the fly; callers that sweep rows
+  /// repeatedly should flatten once (the screen builds a CSR copy).
+  virtual double ep_row(i64 k,
+                        std::vector<std::pair<i64, double>>& parents) const = 0;
 };
 
 }  // namespace parmvn::engine

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "ep/ep_screen.hpp"
 #include "common/timer.hpp"
 #include "core/qmc_kernel.hpp"
 #include "linalg/matrix.hpp"
@@ -56,6 +58,97 @@ QueryResult PmvnEngine::evaluate_one(const LimitSet& query) const {
 }
 
 std::vector<QueryResult> PmvnEngine::evaluate(
+    std::span<const LimitSet> queries) const {
+  if (!opts_.tiered) return evaluate_qmc(queries);
+  const i64 nq = static_cast<i64>(queries.size());
+  if (nq == 0) return {};
+
+  const WallTimer screen_timer;
+  std::vector<QueryResult> results(static_cast<std::size_t>(nq));
+  std::vector<char> retired(static_cast<std::size_t>(nq), 0);
+  const double margin = opts_.ep_margin;
+  ep::SiteCache& cache = factor_->ep_cache();
+  // One screener for the whole batch: the O(nnz) factor-row flatten is
+  // query-independent and dominates a single screen's cost at engine sizes.
+  std::optional<ep::EpScreener> screener;
+
+  for (i64 q = 0; q < nq; ++q) {
+    const LimitSet& query = queries[static_cast<std::size_t>(q)];
+    // Only queries carrying a decision threshold can be screened: without
+    // one there is nothing for the EP band to decide, so the query goes
+    // straight to QMC.
+    if (std::isnan(query.decision)) continue;
+    if (!screener.has_value()) screener.emplace(factor_->backend());
+    ep::EpState state;
+    // Warm-start on exact limit repeats only (max_distance 0): a repeat
+    // certifies its cached fixed point in one damped sweep, while a merely
+    // nearby seed fails the certify and pays the direct solve on top.
+    if (std::optional<ep::EpState> hit =
+            cache.lookup(query.a, query.b, /*max_distance=*/0.0))
+      state = std::move(*hit);
+    const ep::EpResult er = screener->screen(query.a, query.b, {}, &state);
+    if (!er.converged) continue;
+    cache.store(query.a, query.b, std::move(state));
+    // Decision clearance against the EP band. Non-prefix: the scalar
+    // probability must sit at least `margin` clear of the threshold.
+    // Prefix: walk the (monotone non-increasing) curve; a row at least
+    // `margin` below the threshold decides every later row at once, and
+    // every row must be decided for the query to retire.
+    const double decision = query.decision;
+    bool decided;
+    if (!query.prefix) {
+      const double prob = std::exp(er.logz);
+      decided = prob - margin > decision || prob + margin < decision;
+    } else {
+      decided = true;
+      for (const double lz : er.prefix_logz) {
+        const double prob = std::exp(lz);
+        if (prob + margin < decision) break;  // monotone: rest decided
+        if (!(prob - margin > decision)) {
+          decided = false;
+          break;
+        }
+      }
+    }
+    if (!decided) continue;
+    QueryResult& res = results[static_cast<std::size_t>(q)];
+    res.prob = std::exp(er.logz);
+    res.error3sigma = margin;
+    res.samples_used = 0;
+    res.shifts_used = 0;
+    res.converged = true;
+    res.method = EvalMethod::kEp;
+    if (query.prefix) {
+      res.prefix_prob.reserve(er.prefix_logz.size());
+      for (const double lz : er.prefix_logz)
+        res.prefix_prob.push_back(std::exp(lz));
+    }
+    retired[static_cast<std::size_t>(q)] = 1;
+  }
+  const double screen_seconds = screen_timer.seconds();
+
+  // Straddlers (and decision-free queries) run through the untiered QMC
+  // sweep as a sub-batch; batch transparency makes their numbers bitwise
+  // identical to the full untiered batch.
+  std::vector<LimitSet> rest;
+  std::vector<i64> rest_idx;
+  for (i64 q = 0; q < nq; ++q)
+    if (retired[static_cast<std::size_t>(q)] == 0) {
+      rest.push_back(queries[static_cast<std::size_t>(q)]);
+      rest_idx.push_back(q);
+    }
+  if (!rest.empty()) {
+    std::vector<QueryResult> sub = evaluate_qmc(rest);
+    for (std::size_t i = 0; i < rest_idx.size(); ++i)
+      results[static_cast<std::size_t>(rest_idx[i])] = std::move(sub[i]);
+  }
+  for (i64 q = 0; q < nq; ++q)
+    if (retired[static_cast<std::size_t>(q)] != 0)
+      results[static_cast<std::size_t>(q)].seconds = screen_seconds;
+  return results;
+}
+
+std::vector<QueryResult> PmvnEngine::evaluate_qmc(
     std::span<const LimitSet> queries) const {
   const WallTimer timer;
   const CholeskyFactor& f = *factor_;

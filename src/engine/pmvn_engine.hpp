@@ -73,6 +73,26 @@ struct EngineOptions {
   /// and the estimator pair-merges block means before combining.
   bool antithetic = false;
 
+  /// Tiered evaluation: every query carrying a decision threshold is first
+  /// screened by the deterministic EP estimator (src/ep/) on the host
+  /// thread; a query whose threshold falls cleanly outside the EP band
+  /// (every gated estimate at least `ep_margin` away, prefix rows using the
+  /// same monotone shortcut as the adaptive path) retires immediately with
+  /// method == EvalMethod::kEp and never enters the QMC sweep. QMC stays
+  /// authoritative: EP only *skips* work for queries it decides with
+  /// margin; the straddlers' QMC numbers are bitwise identical to the
+  /// untiered run (batch transparency), and `tiered` off reproduces the
+  /// QMC-only path bitwise. EP itself is a pure host-thread function of the
+  /// factor bits, so the tiered path stays deterministic across worker
+  /// counts and scheduler arms. Screens warm-start from the factor's site
+  /// cache (CholeskyFactor::ep_cache()); an unconverged screen never
+  /// retires anything.
+  bool tiered = false;
+  /// Conservative EP error band half-width (absolute probability). The
+  /// default is calibrated against dense QMC on smooth GP fields
+  /// (tests/test_ep.cpp holds |EP - QMC| well under it at n = 64..256).
+  double ep_margin = 0.05;
+
   [[nodiscard]] i64 total_samples() const noexcept {
     return samples_per_shift * static_cast<i64>(shifts);
   }
@@ -91,6 +111,11 @@ struct LimitSet {
   double decision = std::numeric_limits<double>::quiet_NaN();
 };
 
+/// Which tier produced a result: the authoritative QMC sweep, or the EP
+/// screen (tiered mode only — the query's decision threshold fell cleanly
+/// outside the EP error band, so no samples were spent on it).
+enum class EvalMethod { kQmc, kEp };
+
 struct QueryResult {
   double prob = 0.0;
   double error3sigma = 0.0;
@@ -101,6 +126,10 @@ struct QueryResult {
   /// Adaptive path only: the stop criterion was met before the `shifts`
   /// budget ran out (always false on the fixed-budget path).
   bool converged = false;
+  /// Result provenance. For kEp, prob/prefix_prob are the EP estimates,
+  /// error3sigma reports the EP band (EngineOptions::ep_margin),
+  /// samples_used/shifts_used are 0 and converged is true.
+  EvalMethod method = EvalMethod::kQmc;
 };
 
 class PmvnEngine {
@@ -123,6 +152,12 @@ class PmvnEngine {
   [[nodiscard]] const EngineOptions& options() const noexcept { return opts_; }
 
  private:
+  /// The QMC wide-panel sweep (fixed-budget or adaptive) — the untiered
+  /// evaluate(), bitwise independent of which queries the EP screen peeled
+  /// off (batch transparency).
+  [[nodiscard]] std::vector<QueryResult> evaluate_qmc(
+      std::span<const LimitSet> queries) const;
+
   rt::Runtime& rt_;
   std::shared_ptr<const CholeskyFactor> factor_;
   EngineOptions opts_;

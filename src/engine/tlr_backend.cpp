@@ -19,4 +19,30 @@ void TlrBackend::apply_update(i64 i, i64 r, la::ConstMatrixView y,
            b);
 }
 
+double TlrBackend::ep_row(i64 k,
+                          std::vector<std::pair<i64, double>>& parents) const {
+  parents.clear();
+  const i64 m = l_->tile_size();
+  const i64 kt = k / m;
+  const i64 l = k % m;
+  for (i64 r = 0; r < kt; ++r) {
+    // Row l of L_{kt,r} = U V^T: dot row l of U against each row of V.
+    const tlr::LowRankTile& t = l_->lr(kt, r);
+    const la::ConstMatrixView u = t.u.view();
+    const la::ConstMatrixView v = t.v.view();
+    const i64 rank = t.rank();
+    for (i64 c = 0; c < v.rows; ++c) {
+      double w = 0.0;
+      for (i64 q = 0; q < rank; ++q) w += u(l, q) * v(c, q);
+      if (w != 0.0) parents.emplace_back(r * m + c, w);
+    }
+  }
+  const la::ConstMatrixView diag = l_->diag(kt);
+  for (i64 c = 0; c < l; ++c) {
+    const double w = diag(l, c);
+    if (w != 0.0) parents.emplace_back(kt * m + c, w);
+  }
+  return diag(l, l);
+}
+
 }  // namespace parmvn::engine

@@ -1,0 +1,62 @@
+#include "ep/site_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace parmvn::ep {
+
+namespace {
+
+// L-inf distance with infinity-aware matching: two equal infinities are
+// distance 0, a mismatched infinity disqualifies the candidate.
+double linf(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) return std::numeric_limits<double>::infinity();
+  double d = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (std::isinf(x[i]) || std::isinf(y[i])) {
+      if (x[i] == y[i]) continue;
+      return std::numeric_limits<double>::infinity();
+    }
+    d = std::max(d, std::fabs(x[i] - y[i]));
+  }
+  return d;
+}
+
+}  // namespace
+
+std::optional<EpState> SiteCache::lookup(std::span<const double> a,
+                                         std::span<const double> b,
+                                         double max_distance) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const Entry* best = nullptr;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (const Entry& e : entries_) {
+    const double d = std::max(linf(a, e.a), linf(b, e.b));
+    if (d <= max_distance && d < best_d) {
+      best_d = d;
+      best = &e;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->state;
+}
+
+void SiteCache::store(std::span<const double> a, std::span<const double> b,
+                      EpState state) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (std::equal(it->a.begin(), it->a.end(), a.begin(), a.end()) &&
+        std::equal(it->b.begin(), it->b.end(), b.begin(), b.end())) {
+      it->state = std::move(state);
+      entries_.splice(entries_.begin(), entries_, it);
+      return;
+    }
+  }
+  entries_.push_front(Entry{{a.begin(), a.end()}, {b.begin(), b.end()},
+                           std::move(state)});
+  while (entries_.size() > kCapacity) entries_.pop_back();
+}
+
+}  // namespace parmvn::ep

@@ -1,0 +1,115 @@
+#include "ep/truncated.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "stats/normal.hpp"
+
+namespace parmvn::ep {
+
+namespace {
+
+constexpr double kVarMin = 1e-12;
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+constexpr double kSqrt2OverPi = 0.79788456080286535588;  // sqrt(2/pi)
+constexpr double kLogHalf = -0.69314718055994530942;
+
+// log Phi(-alpha) = log of the upper-tail mass beyond alpha, stable for any
+// alpha (the deep upper tail goes through erfcx, so no intermediate
+// underflow).
+double log_upper_tail(double alpha) {
+  if (alpha <= 0.0) return std::log(stats::norm_cdf(-alpha));
+  return -0.5 * alpha * alpha + kLogHalf +
+         std::log(erfcx_pos(alpha * kInvSqrt2));
+}
+
+// Mills ratio phi(alpha) / Phi(-alpha), stable for any alpha.
+double mills_upper(double alpha) {
+  if (alpha <= 0.0) return stats::norm_pdf(alpha) / stats::norm_cdf(-alpha);
+  return kSqrt2OverPi / erfcx_pos(alpha * kInvSqrt2);
+}
+
+// Moments of Z | Z >= alpha (one-sided lower truncation).
+TruncatedMoments lower_truncated(double alpha) {
+  TruncatedMoments tm;
+  tm.logz = log_upper_tail(alpha);
+  const double r = mills_upper(alpha);
+  tm.mean = r;
+  tm.var = std::clamp(1.0 + alpha * r - r * r, kVarMin, 1.0);
+  return tm;
+}
+
+// Moments of Z | alpha <= Z <= beta with 0 <= alpha < beta (possibly
+// infinite beta): both endpoints in the upper tail, where the plain CDF
+// difference loses all digits. Everything is expressed through the two
+// one-sided Mills ratios and the log-mass ratio delta = log of the
+// fraction of [alpha, inf)'s mass that lies beyond beta.
+TruncatedMoments upper_tail_slice(double alpha, double beta) {
+  PARMVN_ASSERT(alpha >= 0.0 && beta > alpha);
+  if (std::isinf(beta)) return lower_truncated(alpha);
+  const double la = log_upper_tail(alpha);
+  const double lb = log_upper_tail(beta);
+  const double delta = lb - la;          // <= 0
+  const double tail = std::exp(delta);   // P(Z >= beta) / P(Z >= alpha)
+  const double keep = -std::expm1(delta);  // 1 - tail, stable near 0
+  TruncatedMoments tm;
+  if (keep <= 0.0) {
+    // The slice's mass vanished under the one-sided masses themselves —
+    // degrade to uniform-on-the-interval.
+    tm.logz = std::max(la + std::log(kVarMin), kLogZFloor);
+    tm.mean = 0.5 * (alpha + beta);
+    const double w = beta - alpha;
+    tm.var = std::clamp(w * w / 12.0, kVarMin, 1.0);
+    return tm;
+  }
+  tm.logz = std::max(la + std::log(keep), kLogZFloor);
+  const double pa_over_z = mills_upper(alpha) / keep;
+  const double pb_over_z = mills_upper(beta) * tail / keep;
+  tm.mean = std::clamp(pa_over_z - pb_over_z, alpha, beta);
+  tm.var = std::clamp(
+      1.0 + alpha * pa_over_z - beta * pb_over_z - tm.mean * tm.mean, kVarMin,
+      1.0);
+  return tm;
+}
+
+TruncatedMoments reflect(TruncatedMoments tm) {
+  tm.mean = -tm.mean;
+  return tm;
+}
+
+}  // namespace
+
+double erfcx_pos(double x) {
+  PARMVN_ASSERT(x >= 0.0);
+  if (x < 25.0) return std::exp(x * x) * std::erfc(x);
+  // Asymptotic series: erfcx(x) ~ 1/(x sqrt(pi)) * (1 - 1/(2x^2) + 3/(4x^4)
+  // - 15/(8x^6)); the truncation error at x = 25 is below 1e-10 relative.
+  const double ix2 = 1.0 / (x * x);
+  constexpr double kInvSqrtPi = 0.56418958354775628695;
+  return kInvSqrtPi / x *
+         (1.0 + ix2 * (-0.5 + ix2 * (0.75 - 1.875 * ix2)));
+}
+
+TruncatedMoments truncated_moments(double alpha, double beta) {
+  PARMVN_EXPECTS(alpha < beta);
+  if (std::isinf(alpha) && std::isinf(beta)) return {};
+  if (std::isinf(beta)) return lower_truncated(alpha);
+  if (std::isinf(alpha)) return reflect(lower_truncated(-beta));
+  if (alpha >= 0.0) return upper_tail_slice(alpha, beta);
+  if (beta <= 0.0) return reflect(upper_tail_slice(-beta, -alpha));
+
+  // alpha < 0 < beta (both finite): the interval straddles the mode, so the
+  // plain CDF difference keeps full accuracy (mass >= Phi(beta) - Phi(0)).
+  TruncatedMoments tm;
+  const double z = stats::norm_cdf_diff(alpha, beta);
+  tm.logz = std::max(std::log(z), kLogZFloor);
+  const double pa = stats::norm_pdf(alpha);
+  const double pb = stats::norm_pdf(beta);
+  tm.mean = (pa - pb) / z;
+  tm.var = std::clamp(1.0 + (alpha * pa - beta * pb) / z - tm.mean * tm.mean,
+                      kVarMin, 1.0);
+  return tm;
+}
+
+}  // namespace parmvn::ep

@@ -1,0 +1,35 @@
+// Stable moments of the standard normal truncated to [alpha, beta] — the
+// 1-D building block of the EP screening estimator (src/ep/ep_screen.hpp).
+//
+// For Z ~ N(0, 1) conditioned on alpha <= Z <= beta (either limit may be
+// infinite) returns the log normalizer log P(alpha <= Z <= beta) and the
+// first two central moments of the conditioned variable. Everything is
+// computed through log-CDFs and log-pdf ratios (Mills ratios in log space),
+// so one-sided truncations stay accurate arbitrarily deep in the tail —
+// exactly the regime the confidence-region screen lives in, where a cleanly
+// decided prefix row has |alpha| of 5..40. Far two-sided slivers whose mass
+// underflows double precision degrade to a uniform-on-the-interval
+// approximation (logz floored at kLogZFloor) instead of NaN: by then the
+// query is decided regardless, but EP must keep iterating stably.
+#pragma once
+
+namespace parmvn::ep {
+
+struct TruncatedMoments {
+  double logz = 0.0;  // log P(alpha <= Z <= beta)
+  double mean = 0.0;  // E[Z | trunc]
+  double var = 1.0;   // Var[Z | trunc], in (0, 1]
+};
+
+/// Floor for logz when the interval mass underflows (exp(-745) is the
+/// smallest positive double).
+inline constexpr double kLogZFloor = -745.0;
+
+/// Requires alpha < beta (infinities allowed).
+[[nodiscard]] TruncatedMoments truncated_moments(double alpha, double beta);
+
+/// Scaled complementary error function exp(x^2) * erfc(x), accurate for all
+/// x >= 0 (continued-fraction/asymptotic in the tail). Exposed for tests.
+[[nodiscard]] double erfcx_pos(double x);
+
+}  // namespace parmvn::ep

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "common/contracts.hpp"
+#include "common/env.hpp"
 #include "common/timer.hpp"
 #include "common/ws_deque.hpp"
 #include "runtime/priority.hpp"
@@ -124,7 +125,8 @@ class WsImpl final : public Runtime::Impl {
  public:
   WsImpl(u64 uid_arg, int threads, bool trace_on)
       : Impl(uid_arg, trace_on, SchedulerKind::kWorkSteal),
-        nworkers_(threads) {
+        nworkers_(threads),
+        steal_batch_(env_i64("PARMVN_STEAL_BATCH", 1) != 0) {
     PARMVN_EXPECTS(threads >= 1);
     workers_.reserve(static_cast<std::size_t>(threads));
     for (int w = 0; w < threads; ++w)
@@ -311,6 +313,9 @@ class WsImpl final : public Runtime::Impl {
 
  private:
   static constexpr int kShards = 16;
+  // Bound on tasks transferred per batch steal: keeps the thief's time on
+  // the victim's lane (CAS per task) short even against a huge backlog.
+  static constexpr i64 kMaxStealBatch = 64;
 
   static int shard_of(DataHandle h) noexcept {
     return static_cast<int>(h.id() % kShards);
@@ -494,6 +499,7 @@ class WsImpl final : public Runtime::Impl {
         if (WsTask* t = victim.lanes[lane].steal()) {
           steal_cursor += static_cast<u64>(k);
           me.steals.fetch_add(1, std::memory_order_relaxed);
+          if (steal_batch_) batch_steal(me, wid, victim.lanes[lane], lane);
           return t;
         }
       }
@@ -510,6 +516,42 @@ class WsImpl final : public Runtime::Impl {
       }
     }
     return nullptr;
+  }
+
+  // Batch steal (PARMVN_STEAL_BATCH, default on): having won one task from
+  // a victim lane, take up to half of what the lane still holds in the same
+  // visit and park it in the thief's matching lane. A thief that found work
+  // once tends to come back — batching amortises the steal-sweep (and its
+  // CAS traffic on the victim's `top_`) over several tasks and spreads a
+  // deep backlog across the pool in O(log) rounds instead of one-at-a-time.
+  // The half cap always leaves the victim the larger share of its own
+  // (cache-hot) work. Transferred tasks are *re-homed* to the thief and not
+  // counted as steals — only the directly-returned task is — which keeps
+  // the trace invariant exact (a record is `stolen` iff its executor
+  // differs from the worker whose queue last held it, and that count must
+  // equal tasks_stolen()). The new surplus in this worker's lane is
+  // advertised so further thieves can split it again. Determinism is
+  // untouched: like every other scheduling choice, this moves *where/when*
+  // a ready task runs, never its inputs.
+  void batch_steal(Worker& me, int wid, WsDeque<WsTask*>& victim_lane,
+                   int lane) {
+    const i64 want = victim_lane.size_hint() / 2;
+    if (want <= 0) return;
+    WsTask* batch[kMaxStealBatch];
+    i64 taken = 0;
+    while (taken < want && taken < kMaxStealBatch) {
+      WsTask* t = victim_lane.steal();
+      if (t == nullptr) break;  // drained or lost a race: stop politely
+      t->home_worker = wid;  // exclusive owner after the steal CAS; the
+                             // deque push below publishes the write
+      batch[taken++] = t;
+    }
+    if (taken == 0) return;
+    // Stolen oldest-first; push in reverse so the LIFO pop runs the batch
+    // in victim-queue order (critical path first), matching the inbox
+    // drain's reversal idiom above.
+    for (i64 i = taken - 1; i >= 0; --i) me.lanes[lane].push(batch[i]);
+    signal_work();
   }
 
   void execute(WsTask* task, Worker& me, int wid) {
@@ -641,6 +683,9 @@ class WsImpl final : public Runtime::Impl {
   }
 
   const int nworkers_;
+  // PARMVN_STEAL_BATCH (default on), latched at construction: thieves take
+  // up to half a victim lane per successful steal instead of one task.
+  const bool steal_batch_;
   std::vector<std::unique_ptr<Worker>> workers_;
 
   HandleShard shards_[kShards];

@@ -20,4 +20,19 @@ void VecchiaBackend::accumulate_external(i64 r,
   }
 }
 
+double VecchiaBackend::ep_row(
+    i64 k, std::vector<std::pair<i64, double>>& parents) const {
+  // The generative row is the conditioning regression itself: neighbours
+  // are stored ascending (ConditioningSets), weights CSR-aligned.
+  parents.clear();
+  const std::span<const i64> nb = v_->sets().of(k);
+  const std::span<const double> w =
+      v_->weights().subspan(static_cast<std::size_t>(v_->sets().offsets[
+                                static_cast<std::size_t>(k)]),
+                            nb.size());
+  for (std::size_t j = 0; j < nb.size(); ++j)
+    parents.emplace_back(nb[j], w[j]);
+  return v_->cond_sd()[static_cast<std::size_t>(k)];
+}
+
 }  // namespace parmvn::vecchia

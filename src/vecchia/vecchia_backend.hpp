@@ -43,6 +43,12 @@ class VecchiaBackend final : public engine::FactorBackend {
                            i64 row_off, i64 nrows,
                            la::MatrixView mean_tile) const override;
 
+  [[nodiscard]] bool ep_latent_slots() const noexcept override {
+    return false;  // slots are earlier coordinates, not latent innovations
+  }
+  double ep_row(i64 k,
+                std::vector<std::pair<i64, double>>& parents) const override;
+
   [[nodiscard]] const VecchiaFactor& factor() const noexcept { return *v_; }
 
  private:

@@ -554,6 +554,38 @@ TEST(RuntimeStress, RepeatRunsBitwiseAcrossArmsAndWorkerCounts) {
       << "repeat run drifted";
 }
 
+TEST(RuntimeStress, StealBatchToggleKeepsChecksumsBitwise) {
+  // PARMVN_STEAL_BATCH (default on) lets a thief take up to half a victim
+  // lane per successful steal instead of one task. Like every scheduling
+  // choice it may change only *when* tasks run, never their inputs: the
+  // 10k-task adversarial checksum must stay bitwise identical with the
+  // lever on, off, and across both arms (the global arm simply ignores it)
+  // and worker counts. The env knob latches at runtime construction, so
+  // each toggle builds fresh runtimes.
+  const auto bits = [](double v) { return std::bit_cast<u64>(v); };
+  const u64 seed = 1234;
+  const char* saved = std::getenv("PARMVN_STEAL_BATCH");
+  const std::string saved_value = saved != nullptr ? saved : "";
+  const double reference =
+      run_priority_program(SchedulerKind::kWorkSteal, /*workers=*/0, seed);
+  for (const char* toggle : {"0", "1"}) {
+    ::setenv("PARMVN_STEAL_BATCH", toggle, 1);
+    for (SchedulerKind arm : kArms) {
+      for (int workers : {2, 8}) {
+        EXPECT_EQ(bits(run_priority_program(arm, workers, seed)),
+                  bits(reference))
+            << arm_name(arm) << " workers=" << workers
+            << " steal_batch=" << toggle;
+      }
+    }
+  }
+  if (saved != nullptr) {
+    ::setenv("PARMVN_STEAL_BATCH", saved_value.c_str(), 1);
+  } else {
+    ::unsetenv("PARMVN_STEAL_BATCH");
+  }
+}
+
 TEST(RuntimeStress, StealPathExceptionCancellation) {
   // A failing task must cancel its not-yet-started dependents on every
   // arm, including when the failure and the dependents cross steal paths.
