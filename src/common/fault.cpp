@@ -1,0 +1,99 @@
+#include "common/fault.hpp"
+
+#include <map>
+#include <mutex>
+
+#include "common/contracts.hpp"
+
+namespace parmvn::fault {
+
+namespace detail {
+std::atomic<int> g_armed_plans{0};
+}  // namespace detail
+
+namespace {
+
+struct Plan {
+  i64 first_hit = 1;  // 1-based hit number of the first trip
+  i64 trip_span = 1;  // hits [first_hit, first_hit + trip_span) throw
+  i64 hits = 0;       // hits observed since the plan was armed
+  i64 tripped = 0;    // hits that actually threw
+};
+
+// Plans are rare (tests only) and sites are short literals: a plain
+// ordered map under one mutex is simple and, on the disarmed fast path,
+// never touched.
+std::mutex& plan_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::string, Plan, std::less<>>& plans() {
+  static std::map<std::string, Plan, std::less<>> p;
+  return p;
+}
+
+}  // namespace
+
+namespace detail {
+
+void on_hit(const char* site) {
+  std::lock_guard<std::mutex> g(plan_mutex());
+  const auto it = plans().find(std::string_view(site));
+  if (it == plans().end()) return;
+  Plan& plan = it->second;
+  const i64 hit = ++plan.hits;
+  if (hit >= plan.first_hit && hit < plan.first_hit + plan.trip_span) {
+    ++plan.tripped;
+    throw Error(std::string("fault injected: ") + site);
+  }
+}
+
+}  // namespace detail
+
+void arm(std::string_view site, i64 first_hit, i64 trips) {
+  PARMVN_EXPECTS(first_hit >= 1);
+  PARMVN_EXPECTS(trips >= 1);
+  std::lock_guard<std::mutex> g(plan_mutex());
+  auto [it, inserted] = plans().insert_or_assign(
+      std::string(site), Plan{first_hit, trips, 0, 0});
+  (void)it;
+  if (inserted)
+    detail::g_armed_plans.fetch_add(1, std::memory_order_relaxed);
+}
+
+void disarm(std::string_view site) {
+  std::lock_guard<std::mutex> g(plan_mutex());
+  const auto it = plans().find(site);
+  if (it == plans().end()) return;
+  plans().erase(it);
+  detail::g_armed_plans.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  std::lock_guard<std::mutex> g(plan_mutex());
+  detail::g_armed_plans.fetch_sub(static_cast<int>(plans().size()),
+                                  std::memory_order_relaxed);
+  plans().clear();
+}
+
+i64 hits(std::string_view site) {
+  std::lock_guard<std::mutex> g(plan_mutex());
+  const auto it = plans().find(site);
+  return it == plans().end() ? 0 : it->second.hits;
+}
+
+i64 trips(std::string_view site) {
+  std::lock_guard<std::mutex> g(plan_mutex());
+  const auto it = plans().find(site);
+  return it == plans().end() ? 0 : it->second.tripped;
+}
+
+ScopedFault::ScopedFault(std::string_view site, i64 first_hit, i64 trip_count)
+    : site_(site) {
+  arm(site_, first_hit, trip_count);
+}
+
+ScopedFault::~ScopedFault() { disarm(site_); }
+
+}  // namespace parmvn::fault

@@ -1,0 +1,95 @@
+// Deterministic fault injection for failure-path testing.
+//
+// The library's error paths (first-error task cancellation, round-handle
+// release on a submit-time throw, FactorCache in-flight takeover, TLR
+// jitter escalation, EP-tier demotion) are reachable only through rare
+// events — a non-PD pivot, a bad allocation — so without help they are
+// tested by hope. Named injection sites make them drivable on purpose:
+//
+//   // library code (hot path — one relaxed atomic load when nothing is
+//   // armed, nothing else):
+//   PARMVN_FAULT_POINT("tlr.potrf.pivot");
+//
+//   // test code:
+//   fault::ScopedFault f("tlr.potrf.pivot", /*first_hit=*/1, /*trips=*/2);
+//   EXPECT_THROW(potrf_tlr(rt, a), Error);   // attempts 1 and 2 trip
+//
+// A plan is counter-based: hits of the site are counted from the moment
+// the plan is armed, and hits numbered [first_hit, first_hit + trips)
+// (1-based) throw parmvn::Error("fault injected: <site>"). Counting is
+// process-global and mutex-serialised, so a plan over a site hit from one
+// thread at a time is fully deterministic; for sites hit concurrently by
+// worker tasks the *set* of tripped hits is deterministic but which task
+// observes them follows the schedule — tests over such sites should assert
+// outcomes (an error propagated, state recovered), not victim identity.
+//
+// Sites are plain string literals; the catalog lives in README.md
+// ("Failure model & degradation ladder"). Production builds keep the
+// macro compiled in: the disarmed fast path is a single relaxed load of a
+// process-wide counter, measured in the noise even inside task bodies.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace parmvn::fault {
+
+namespace detail {
+// Number of armed plans; non-zero gates the slow path. Relaxed is enough:
+// tests arm plans before starting the work that should trip them, and any
+// later synchronisation (task submission, thread start) publishes the plan
+// map itself.
+extern std::atomic<int> g_armed_plans;
+// Slow path: count the hit against an armed plan (if any) and throw
+// parmvn::Error when the hit is scheduled to trip.
+void on_hit(const char* site);
+}  // namespace detail
+
+/// Arm a plan for `site`: hits numbered [first_hit, first_hit + trips)
+/// (1-based, counted from this call) throw parmvn::Error. Re-arming a site
+/// replaces its plan and resets its counters.
+void arm(std::string_view site, i64 first_hit = 1, i64 trips = 1);
+
+/// Remove the plan for `site` (no-op when none is armed).
+void disarm(std::string_view site);
+
+/// Remove every plan. Tests should leave the process clean; ScopedFault
+/// does this per site automatically.
+void disarm_all();
+
+/// Hits observed at `site` while its current plan has been armed
+/// (0 when no plan is or was armed since the last re-arm).
+[[nodiscard]] i64 hits(std::string_view site);
+
+/// Times `site` actually threw under its current plan.
+[[nodiscard]] i64 trips(std::string_view site);
+
+/// RAII plan for tests: arms in the constructor, disarms its site in the
+/// destructor.
+class ScopedFault {
+ public:
+  explicit ScopedFault(std::string_view site, i64 first_hit = 1,
+                       i64 trip_count = 1);
+  ~ScopedFault();
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  std::string site_;
+};
+
+}  // namespace parmvn::fault
+
+/// Injection site: no-op (one relaxed load) unless a test armed a plan
+/// anywhere in the process; with a plan covering this site, the scheduled
+/// hits throw parmvn::Error from right here. `site` must be a string
+/// literal (or otherwise outlive the call).
+#define PARMVN_FAULT_POINT(site)                                      \
+  do {                                                                \
+    if (::parmvn::fault::detail::g_armed_plans.load(                  \
+            std::memory_order_relaxed) != 0)                          \
+      ::parmvn::fault::detail::on_hit(site);                          \
+  } while (false)

@@ -1,0 +1,50 @@
+// Typed per-query outcome for batch APIs that must not let one failing
+// query abort its siblings (the graceful-degradation contract of
+// excursion::detect_confidence_regions): instead of an exception tearing
+// down the whole batch, each result carries a Status and failed queries
+// report *what stage* failed while the rest of the batch stays valid.
+//
+// Single-query convenience wrappers keep throwing parmvn::Error — Status
+// is the batch-boundary representation of the same taxonomy.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace parmvn {
+
+enum class StatusCode {
+  kOk = 0,
+  /// The query group's covariance factorization failed (non-PD after any
+  /// configured jitter retries / fallback, or a task error inside the
+  /// factor DAG).
+  kFactorFailed,
+  /// The factor was built but the probability evaluation (EP screen + QMC
+  /// sweep) failed.
+  kEvalFailed,
+};
+
+struct Status {
+  StatusCode code = StatusCode::kOk;
+  std::string message;  // empty when ok
+
+  [[nodiscard]] bool ok() const noexcept { return code == StatusCode::kOk; }
+
+  [[nodiscard]] static Status factor_failed(std::string msg) {
+    return {StatusCode::kFactorFailed, std::move(msg)};
+  }
+  [[nodiscard]] static Status eval_failed(std::string msg) {
+    return {StatusCode::kEvalFailed, std::move(msg)};
+  }
+};
+
+[[nodiscard]] constexpr const char* to_string(StatusCode c) noexcept {
+  switch (c) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kFactorFailed: return "factor_failed";
+    case StatusCode::kEvalFailed: return "eval_failed";
+  }
+  return "unknown";
+}
+
+}  // namespace parmvn

@@ -187,6 +187,9 @@ CrdResult detect_confidence_region(rt::Runtime& rt,
                        opts.pmvn.seed};
   std::vector<CrdResult> results =
       detect_confidence_regions(rt, cov, mean, opts, {&query, 1});
+  // The batch API isolates failures per group; the single-query entry point
+  // keeps its historical throwing contract.
+  if (!results.front().status.ok()) throw Error(results.front().status.message);
   return std::move(results.front());
 }
 
@@ -220,19 +223,39 @@ std::vector<CrdResult> detect_confidence_regions(
   const std::vector<double> b_ord(static_cast<std::size_t>(n), kInf);
 
   for (auto& [order, members] : groups) {
+    // A failing group marks its own members and moves on: sibling groups
+    // (other orderings, already-finished results) must never be torn down
+    // by one group's bad factorization or sweep. Marginals and the ordering
+    // are computed before anything can fail, so even a failed member
+    // reports what it was integrating.
+    const auto fail_group = [&](const std::vector<std::size_t>& group_members,
+                                Status status) {
+      for (const std::size_t qi : group_members) {
+        CrdResult& res = results[qi];
+        res.status = status;
+        res.marginal = std::move(prepared[qi].marginal);
+        res.order = std::move(prepared[qi].order);
+      }
+    };
+
     std::shared_ptr<const engine::CholeskyFactor> factor;
     bool cached = false;
     double factor_paid_s = 0.0;
-    if (cache != nullptr) {
-      const WallTimer factor_timer;
-      // `cached` comes from the call itself, not a stats() delta — the
-      // counters are shared across serving threads and race.
-      factor = cache->get_or_factor(rt, cov, order, spec, sd, &cached);
-      factor_paid_s = cached ? 0.0 : factor_timer.seconds();
-    } else {
-      factor = std::make_shared<const engine::CholeskyFactor>(
-          engine::CholeskyFactor::factor_ordered(rt, cov, order, spec, sd));
-      factor_paid_s = factor->factor_seconds();
+    try {
+      if (cache != nullptr) {
+        const WallTimer factor_timer;
+        // `cached` comes from the call itself, not a stats() delta — the
+        // counters are shared across serving threads and race.
+        factor = cache->get_or_factor(rt, cov, order, spec, sd, &cached);
+        factor_paid_s = cached ? 0.0 : factor_timer.seconds();
+      } else {
+        factor = std::make_shared<const engine::CholeskyFactor>(
+            engine::CholeskyFactor::factor_ordered(rt, cov, order, spec, sd));
+        factor_paid_s = factor->factor_seconds();
+      }
+    } catch (const std::exception& e) {
+      fail_group(members, Status::factor_failed(e.what()));
+      continue;
     }
 
     // Deduplicate identical integrals within the group: queries differing
@@ -269,7 +292,13 @@ std::vector<CrdResult> detect_confidence_regions(
     }
     for (std::size_t s = 0; s < limits.size(); ++s)
       limits[s].decision = 1.0 - slot_alpha[s];  // NaN stays NaN
-    std::vector<engine::QueryResult> batch = eng.evaluate(limits);
+    std::vector<engine::QueryResult> batch;
+    try {
+      batch = eng.evaluate(limits);
+    } catch (const std::exception& e) {
+      fail_group(members, Status::eval_failed(e.what()));
+      continue;
+    }
 
     // The last member consuming a dedup slot takes the prefix vector by
     // move (a sole-owner slot — the common alpha-sweep case — never copies).

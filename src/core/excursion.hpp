@@ -28,6 +28,7 @@
 #include <span>
 #include <vector>
 
+#include "common/status.hpp"
 #include "core/pmvn.hpp"
 #include "engine/factor_cache.hpp"
 #include "geo/covgen.hpp"
@@ -95,8 +96,16 @@ struct CrdResult {
   int shifts_used = 0;              // shift blocks actually evaluated
   bool converged = false;           // adaptive stop criterion met
   /// kEp when the tiered EP screen (PmvnOptions::tiered) decided this
-  /// query's region without spending QMC samples on it.
+  /// query's region without spending QMC samples on it; kDeadline when
+  /// PmvnOptions::deadline_ms expired mid-sweep (prefix_prob and the region
+  /// are then computed from the partial estimate, converged == false).
   engine::EvalMethod method = engine::EvalMethod::kQmc;
+  /// Per-query outcome of a batched detection. A failed ordering group
+  /// (factorization or sweep) marks each of its members instead of aborting
+  /// the sibling groups: marginal/order stay filled (they are computed
+  /// before anything can fail), prefix_prob/confidence/region are empty.
+  /// The single-query detect_confidence_region still throws, as before.
+  Status status;
 };
 
 /// Detect the confidence region for the Gaussian field X ~ N(mean, cov).

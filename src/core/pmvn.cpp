@@ -22,6 +22,7 @@ engine::EngineOptions engine_options(const PmvnOptions& opts) {
   eo.antithetic = opts.antithetic;
   eo.tiered = opts.tiered;
   eo.ep_margin = opts.ep_margin;
+  eo.deadline_ms = opts.deadline_ms;
   return eo;
 }
 

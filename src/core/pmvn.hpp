@@ -56,6 +56,10 @@ struct PmvnOptions {
   bool antithetic = false;
   bool tiered = false;
   double ep_margin = 0.05;
+  /// Wall-clock deadline in milliseconds (0 = none): an expired query
+  /// retires with its best-so-far estimate, converged == false and
+  /// method == EvalMethod::kDeadline (see EngineOptions::deadline_ms).
+  i64 deadline_ms = 0;
 
   [[nodiscard]] i64 total_samples() const noexcept {
     return samples_per_shift * static_cast<i64>(shifts);

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "common/fault.hpp"
 #include "common/timer.hpp"
 #include "engine/dense_backend.hpp"
 #include "engine/tlr_backend.hpp"
@@ -21,6 +22,20 @@ namespace {
 template <class T>
 std::shared_ptr<const T> borrow(const T& ref) {
   return std::shared_ptr<const T>(std::shared_ptr<const T>{}, &ref);
+}
+
+// Build the dense backend for `gen` — the kDense arm, and the fallback rung
+// the kTlr arm lands on when its retry ladder exhausts.
+std::shared_ptr<const DenseBackend> build_dense(rt::Runtime& rt,
+                                                const la::MatrixGenerator& gen,
+                                                const FactorSpec& spec) {
+  tile::TileMatrix l(rt, gen.rows(), gen.rows(), spec.tile,
+                     tile::Layout::kLowerSymmetric, "Sigma");
+  l.generate_async(rt, gen);
+  rt.wait_all();
+  tile::potrf_tiled_safeguarded(rt, l, spec.jitter_retries);
+  return std::make_shared<const DenseBackend>(
+      std::make_shared<const tile::TileMatrix>(std::move(l)));
 }
 
 }  // namespace
@@ -41,28 +56,34 @@ CholeskyFactor CholeskyFactor::factor(rt::Runtime& rt,
                                       const FactorSpec& spec) {
   PARMVN_EXPECTS(gen.rows() == gen.cols());
   PARMVN_EXPECTS(spec.tile >= 1);
+  PARMVN_EXPECTS(spec.jitter_retries >= 0);
+  PARMVN_FAULT_POINT("engine.factor");
   const i64 n = gen.rows();
 
   CholeskyFactor f;
   const WallTimer timer;
   switch (spec.kind) {
     case FactorKind::kDense: {
-      tile::TileMatrix l(rt, n, n, spec.tile, tile::Layout::kLowerSymmetric,
-                         "Sigma");
-      l.generate_async(rt, gen);
-      rt.wait_all();
-      tile::potrf_tiled(rt, l);
-      f.backend_ = std::make_shared<const DenseBackend>(
-          std::make_shared<const tile::TileMatrix>(std::move(l)));
+      f.backend_ = build_dense(rt, gen, spec);
       break;
     }
     case FactorKind::kTlr: {
-      tlr::TlrMatrix l = tlr::TlrMatrix::compress(rt, gen, spec.tile,
-                                                  spec.tlr_tol,
-                                                  spec.tlr_max_rank);
-      tlr::potrf_tlr(rt, l);
-      f.backend_ = std::make_shared<const TlrBackend>(
-          std::make_shared<const tlr::TlrMatrix>(std::move(l)));
+      try {
+        tlr::TlrMatrix l = tlr::TlrMatrix::compress(rt, gen, spec.tile,
+                                                    spec.tlr_tol,
+                                                    spec.tlr_max_rank);
+        tlr::potrf_tlr(rt, l);
+        f.backend_ = std::make_shared<const TlrBackend>(
+            std::make_shared<const tlr::TlrMatrix>(std::move(l)));
+      } catch (const Error&) {
+        // Persistent non-PD under compression: with the opt-in fallback,
+        // take the last rung of the degradation ladder — the exact dense
+        // factor of the same matrix (no truncation perturbation to lose
+        // definiteness to). Without it the typed error propagates.
+        if (!spec.fallback) throw;
+        f.backend_ = build_dense(rt, gen, spec);
+        f.degraded_ = true;
+      }
       break;
     }
     case FactorKind::kVecchia: {

@@ -56,12 +56,25 @@ namespace parmvn::engine {
     const la::MatrixGenerator& cov);
 
 /// How to build a factor: arithmetic format, tile size, format knobs.
+/// New knobs append after vecchia_m with defaults — call sites aggregate-
+/// initialise the prefix.
 struct FactorSpec {
   FactorKind kind = FactorKind::kDense;
   i64 tile = 256;
   double tlr_tol = 1e-3;  // TLR compression accuracy (ignored for others)
   i64 tlr_max_rank = -1;  // TLR rank cap, < 0 = uncapped (ignored for others)
   i64 vecchia_m = 30;     // Vecchia conditioning-set size (ignored for others)
+  /// Dense arm: bounded diagonal-boost retries on a non-PD pivot (shared
+  /// escalation schedule with the TLR arm, linalg/jitter.hpp). 0 (default)
+  /// = off: throw on the first non-PD pivot, bitwise identical to the
+  /// pre-safeguard behavior. Also applies to the dense factor built by the
+  /// TLR `fallback` below. The TLR arm keeps its own built-in retry ladder.
+  int jitter_retries = 0;
+  /// TLR arm: when its retry ladder exhausts (persistently non-PD under
+  /// compression), fall back to a dense factor of the same ordered matrix
+  /// instead of throwing — the last rung of the degradation ladder. Off by
+  /// default; CholeskyFactor::degraded() reports when it fired.
+  bool fallback = false;
 };
 
 class CholeskyFactor {
@@ -108,6 +121,12 @@ class CholeskyFactor {
   [[nodiscard]] double factor_seconds() const noexcept {
     return factor_seconds_;
   }
+
+  /// Whether the factor was built by a degradation fallback (the requested
+  /// TLR factorization was persistently non-PD and FactorSpec::fallback
+  /// rebuilt it on the dense arm) — kind() then reports the arm actually
+  /// built, not the one requested.
+  [[nodiscard]] bool degraded() const noexcept { return degraded_; }
 
   /// Ordering metadata from factor_ordered(); empty for other constructors.
   [[nodiscard]] const std::vector<i64>& order() const noexcept {
@@ -160,6 +179,7 @@ class CholeskyFactor {
   std::vector<i64> order_;
   std::vector<double> sd_;
   double factor_seconds_ = 0.0;
+  bool degraded_ = false;
   std::shared_ptr<ep::SiteCache> ep_cache_ = std::make_shared<ep::SiteCache>();
 };
 

@@ -29,14 +29,21 @@ std::string make_key(const std::string& gen_key, u64 runtime_uid,
   // cannot split the cache): tile geometry, TLR accuracy, and the Vecchia
   // conditioning-set size — two specs differing only in vecchia_m describe
   // different sparse factors and must never alias.
-  char buf[192];
+  // jitter_retries changes the bits wherever a dense factor may be built
+  // (the dense arm, or the TLR fallback rung); fallback changes what a
+  // non-PD TLR factorization produces at all.
+  const bool dense_rung = spec.kind == FactorKind::kDense ||
+                          (spec.kind == FactorKind::kTlr && spec.fallback);
+  char buf[224];
   std::snprintf(buf, sizeof(buf),
                 "|rt=%" PRIu64 "|k=%d|tile=%" PRId64 "|tol=%.17g|cap=%" PRId64
-                "|m=%" PRId64 "|ord=%zu:%016" PRIx64,
+                "|m=%" PRId64 "|jr=%d|fb=%d|ord=%zu:%016" PRIx64,
                 runtime_uid, static_cast<int>(spec.kind), spec.tile,
                 spec.kind == FactorKind::kTlr ? spec.tlr_tol : 0.0,
                 spec.kind == FactorKind::kTlr ? spec.tlr_max_rank : i64{-1},
                 spec.kind == FactorKind::kVecchia ? spec.vecchia_m : i64{0},
+                dense_rung ? spec.jitter_retries : 0,
+                spec.kind == FactorKind::kTlr ? int{spec.fallback} : 0,
                 order.size(), hash_order(order));
   return gen_key + buf;
 }

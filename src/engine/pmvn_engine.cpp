@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "common/fault.hpp"
 #include "ep/ep_screen.hpp"
 #include "common/timer.hpp"
 #include "core/qmc_kernel.hpp"
@@ -44,6 +45,7 @@ PmvnEngine::PmvnEngine(rt::Runtime& rt,
   PARMVN_EXPECTS(factor_ != nullptr);
   PARMVN_EXPECTS(opts_.samples_per_shift >= 1 && opts_.shifts >= 1);
   PARMVN_EXPECTS(!opts_.antithetic || opts_.shifts % 2 == 0);
+  PARMVN_EXPECTS(opts_.deadline_ms >= 0);
   if (opts_.adaptive) {
     // The running estimate gates stop decisions, so at least two
     // (independent) blocks are required before the first check.
@@ -64,6 +66,7 @@ std::vector<QueryResult> PmvnEngine::evaluate(
   if (nq == 0) return {};
 
   const WallTimer screen_timer;
+  const double deadline_s = static_cast<double>(opts_.deadline_ms) / 1000.0;
   std::vector<QueryResult> results(static_cast<std::size_t>(nq));
   std::vector<char> retired(static_cast<std::size_t>(nq), 0);
   const double margin = opts_.ep_margin;
@@ -73,22 +76,38 @@ std::vector<QueryResult> PmvnEngine::evaluate(
   std::optional<ep::EpScreener> screener;
 
   for (i64 q = 0; q < nq; ++q) {
+    // The deadline budget covers the screen tier too: once it expires, the
+    // remaining queries skip their screens and face it again in the QMC
+    // round loop (which always grants them one shift block).
+    if (opts_.deadline_ms > 0 && screen_timer.seconds() >= deadline_s) break;
     const LimitSet& query = queries[static_cast<std::size_t>(q)];
     // Only queries carrying a decision threshold can be screened: without
     // one there is nothing for the EP band to decide, so the query goes
     // straight to QMC.
     if (std::isnan(query.decision)) continue;
-    if (!screener.has_value()) screener.emplace(factor_->backend());
-    ep::EpState state;
-    // Warm-start on exact limit repeats only (max_distance 0): a repeat
-    // certifies its cached fixed point in one damped sweep, while a merely
-    // nearby seed fails the certify and pays the direct solve on top.
-    if (std::optional<ep::EpState> hit =
-            cache.lookup(query.a, query.b, /*max_distance=*/0.0))
-      state = std::move(*hit);
-    const ep::EpResult er = screener->screen(query.a, query.b, {}, &state);
+    ep::EpResult er;
+    try {
+      if (!screener.has_value()) screener.emplace(factor_->backend());
+      ep::EpState state;
+      // Warm-start on exact limit repeats only (max_distance 0): a repeat
+      // certifies its cached fixed point in one damped sweep, while a merely
+      // nearby seed fails the certify and pays the direct solve on top.
+      if (std::optional<ep::EpState> hit =
+              cache.lookup(query.a, query.b, /*max_distance=*/0.0))
+        state = std::move(*hit);
+      er = screener->screen(query.a, query.b, {}, &state);
+      if (er.converged) cache.store(query.a, query.b, std::move(state));
+    } catch (const std::exception&) {
+      // A failed screen demotes the query to the authoritative QMC tier —
+      // the screen only ever *skips* work, so its failure never aborts the
+      // batch or the sibling screens.
+      continue;
+    }
     if (!er.converged) continue;
-    cache.store(query.a, query.b, std::move(state));
+    // A non-finite EP estimate cannot be trusted to clear anything: demote
+    // to QMC rather than retire on garbage (the prefix walk below likewise
+    // refuses non-finite rows, since NaN fails both clearance comparisons).
+    if (!std::isfinite(er.logz)) continue;
     // Decision clearance against the EP band. Non-prefix: the scalar
     // probability must sit at least `margin` clear of the threshold.
     // Prefix: walk the (monotone non-increasing) curve; a row at least
@@ -138,7 +157,7 @@ std::vector<QueryResult> PmvnEngine::evaluate(
       rest_idx.push_back(q);
     }
   if (!rest.empty()) {
-    std::vector<QueryResult> sub = evaluate_qmc(rest);
+    std::vector<QueryResult> sub = evaluate_qmc(rest, screen_seconds);
     for (std::size_t i = 0; i < rest_idx.size(); ++i)
       results[static_cast<std::size_t>(rest_idx[i])] = std::move(sub[i]);
   }
@@ -149,7 +168,7 @@ std::vector<QueryResult> PmvnEngine::evaluate(
 }
 
 std::vector<QueryResult> PmvnEngine::evaluate_qmc(
-    std::span<const LimitSet> queries) const {
+    std::span<const LimitSet> queries, double elapsed_s) const {
   const WallTimer timer;
   const CholeskyFactor& f = *factor_;
   const i64 n = f.dim();
@@ -278,8 +297,10 @@ std::vector<QueryResult> PmvnEngine::evaluate_qmc(
       };
       try {
         if (!meanp)
-          for (i64 k = 0; k < mt * nct; ++k)
+          for (i64 k = 0; k < mt * nct; ++k) {
+            PARMVN_FAULT_POINT("engine.register");
             panel_handles.push_back(rt_.register_data());
+          }
         for (i64 t = 0; t < nct; ++t) p_handles.push_back(rt_.register_data());
         // Initialise A/B with the replicated per-query limit vectors (lines
         // 2-3 of Algorithm 2), one task per (tile row, column tile).
@@ -300,6 +321,7 @@ std::vector<QueryResult> PmvnEngine::evaluate_qmc(
             const std::span<const double> qb = q.b;
             rt_.submit("pmvn_init", {{handle(r, t), rt::Access::kWrite}},
                        [at, bt, row0, qa, qb] {
+                         PARMVN_FAULT_POINT("engine.panel_init");
                          // Sample-contiguous panels: replicate each limit
                          // down its dimension's (contiguous) column.
                          for (i64 i = 0; i < at.cols; ++i) {
@@ -379,6 +401,7 @@ std::vector<QueryResult> PmvnEngine::evaluate_qmc(
                         {p_handles[static_cast<std::size_t>(t)],
                          rt::Access::kReadWrite}},
                        [lrr, ps, row0, sample0, atc, bt, yt, pk, acc] {
+                         PARMVN_FAULT_POINT("engine.qmc");
                          core::qmc_tile_kernel(lrr, *ps, row0, sample0, atc,
                                                bt, yt, pk, acc);
                        },
@@ -399,6 +422,9 @@ std::vector<QueryResult> PmvnEngine::evaluate_qmc(
               wide_accesses.push_back({handle(i, t), rt::Access::kReadWrite});
             }
             const CholeskyFactor* fp = factor_.get();
+            // Host-side submit failure with earlier tasks already in flight:
+            // the catch below must drain them before releasing handles.
+            PARMVN_FAULT_POINT("engine.submit");
             // The i == r+1 update feeds the next tile row's QMC tasks
             // directly — the sweep's critical path — so it shares the QMC
             // lane; the remaining updates trail (same weighting as the
@@ -455,7 +481,13 @@ std::vector<QueryResult> PmvnEngine::evaluate_qmc(
 
   std::vector<QueryResult> results(static_cast<std::size_t>(nq));
 
-  if (!opts_.adaptive) {
+  // A deadline routes the fixed-budget sweep through the round loop below
+  // (one shift block at a time, deadline checked between rounds on the host
+  // thread); without one, the fixed path stays bitwise untouched.
+  const bool deadline_on = opts_.deadline_ms > 0;
+  const double deadline_s = static_cast<double>(opts_.deadline_ms) / 1000.0;
+
+  if (!opts_.adaptive && !deadline_on) {
     // Fixed budget: one sweep over the whole stream for every query — the
     // pre-adaptive code path, bitwise preserved (antithetic off).
     std::vector<i64> all(static_cast<std::size_t>(nq));
@@ -487,12 +519,15 @@ std::vector<QueryResult> PmvnEngine::evaluate_qmc(
     return results;
   }
 
-  // Adaptive: one shift block (one antithetic pair) per round across the
-  // still-active queries, retiring each query independently once its
-  // criterion is met — error3sigma <= abs_tol, or the decision threshold
-  // cleanly cleared. All stop decisions run here on the host thread from
-  // deterministic block sums, so the round schedule (and therefore every
-  // result bit) is identical across worker counts and scheduler arms.
+  // Round mode (adaptive and/or deadline-bounded): one shift block (one
+  // antithetic pair) per round across the still-active queries, retiring
+  // each query independently once its criterion is met — error3sigma <=
+  // abs_tol, or the decision threshold cleanly cleared (adaptive only) —
+  // or en masse when the deadline expires. All stop decisions run here on
+  // the host thread from deterministic block sums, so the adaptive round
+  // schedule (and therefore every result bit) is identical across worker
+  // counts and scheduler arms; deadline stops are time-dependent and
+  // exempt (see ROADMAP).
   const int step = opts_.antithetic ? 2 : 1;
   // First stop check no earlier than min_shifts, rounded up to whole rounds.
   const int first_check = ((opts_.min_shifts + step - 1) / step) * step;
@@ -534,10 +569,19 @@ std::vector<QueryResult> PmvnEngine::evaluate_qmc(
   std::iota(active.begin(), active.end(), i64{0});
   std::vector<int> shifts_done(static_cast<std::size_t>(nq), 0);
   std::vector<char> converged(static_cast<std::size_t>(nq), 0);
+  std::vector<char> deadline_hit(static_cast<std::size_t>(nq), 0);
 
   while (!active.empty()) {
     // All active queries have advanced in lockstep: one shared shift index.
     const int s = shifts_done[static_cast<std::size_t>(active.front())];
+    // Deadline check between rounds — but only after the first round, so
+    // every query retires with at least one shift block behind its estimate
+    // (a deadline result is a partial answer, never an empty one).
+    if (deadline_on && s > 0 && timer.seconds() + elapsed_s >= deadline_s) {
+      for (const i64 qi : active)
+        deadline_hit[static_cast<std::size_t>(qi)] = 1;
+      break;
+    }
     for (int k = 0; k < step; ++k) {
       for (const i64 qi : active)
         prefix_target[static_cast<std::size_t>(qi)] =
@@ -553,7 +597,9 @@ std::vector<QueryResult> PmvnEngine::evaluate_qmc(
     for (const i64 qi : active) {
       shifts_done[static_cast<std::size_t>(qi)] += step;
       const int done = shifts_done[static_cast<std::size_t>(qi)];
-      if (done >= first_check) {
+      // Early-stop checks belong to adaptive mode only: a deadline-bounded
+      // fixed-budget run sweeps every block the clock allows.
+      if (opts_.adaptive && done >= first_check) {
         bool stop;
         if (queries[static_cast<std::size_t>(qi)].prefix) {
           stop = prefix_decided(qi, done);
@@ -584,6 +630,9 @@ std::vector<QueryResult> PmvnEngine::evaluate_qmc(
     res.samples_used = static_cast<i64>(done) * sps;
     res.shifts_used = done;
     res.converged = converged[static_cast<std::size_t>(q)] != 0;
+    res.method = deadline_hit[static_cast<std::size_t>(q)] != 0
+                     ? EvalMethod::kDeadline
+                     : EvalMethod::kQmc;
     if (queries[static_cast<std::size_t>(q)].prefix) {
       // Fold per-shift prefix sums in ascending shift order, then normalise
       // by the samples this query actually evaluated.

@@ -87,6 +87,19 @@ struct EngineOptions {
   /// counts and scheduler arms. Screens warm-start from the factor's site
   /// cache (CholeskyFactor::ep_cache()); an unconverged screen never
   /// retires anything.
+  /// Wall-clock deadline for the whole evaluate() call in milliseconds
+  /// (0 = none). Checked on the host thread between shift-block rounds (and
+  /// between tiered EP screens): when it expires, every still-active query
+  /// retires immediately with its best-so-far block estimate,
+  /// converged == false and method == EvalMethod::kDeadline. Every query
+  /// always completes at least one shift block, so a deadline result is an
+  /// estimate, never empty. A deadline routes the fixed-budget sweep
+  /// through the same round loop the adaptive path uses; deadline stops are
+  /// time-dependent and therefore explicitly exempt from the bitwise
+  /// determinism contracts (see ROADMAP) — the default (0) keeps every
+  /// contracted path bitwise unchanged.
+  i64 deadline_ms = 0;
+
   bool tiered = false;
   /// Conservative EP error band half-width (absolute probability). The
   /// default is calibrated against dense QMC on smooth GP fields
@@ -111,10 +124,12 @@ struct LimitSet {
   double decision = std::numeric_limits<double>::quiet_NaN();
 };
 
-/// Which tier produced a result: the authoritative QMC sweep, or the EP
+/// Which tier produced a result: the authoritative QMC sweep, the EP
 /// screen (tiered mode only — the query's decision threshold fell cleanly
-/// outside the EP error band, so no samples were spent on it).
-enum class EvalMethod { kQmc, kEp };
+/// outside the EP error band, so no samples were spent on it), or a
+/// deadline stop (EngineOptions::deadline_ms expired with the query still
+/// active — prob is the best-so-far QMC block estimate).
+enum class EvalMethod { kQmc, kEp, kDeadline };
 
 struct QueryResult {
   double prob = 0.0;
@@ -154,9 +169,10 @@ class PmvnEngine {
  private:
   /// The QMC wide-panel sweep (fixed-budget or adaptive) — the untiered
   /// evaluate(), bitwise independent of which queries the EP screen peeled
-  /// off (batch transparency).
+  /// off (batch transparency). `elapsed_s` is wall time already charged
+  /// against the deadline before the sweep started (the tiered screen).
   [[nodiscard]] std::vector<QueryResult> evaluate_qmc(
-      std::span<const LimitSet> queries) const;
+      std::span<const LimitSet> queries, double elapsed_s = 0.0) const;
 
   rt::Runtime& rt_;
   std::shared_ptr<const CholeskyFactor> factor_;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "common/fault.hpp"
 #include "common/timer.hpp"
 #include "engine/factor_backend.hpp"
 #include "ep/truncated.hpp"
@@ -128,6 +129,7 @@ class Screen {
   // point, skipping the full-damping solve pass. Returns the largest
   // scaled site natural-parameter change.
   double sweep(double damping) {
+    PARMVN_FAULT_POINT("ep.sweep");
     reset_slots();
     double delta = 0.0;
     double cum = 0.0;

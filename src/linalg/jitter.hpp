@@ -1,0 +1,34 @@
+// Diagonal-boost ("jitter") escalation policy shared by the safeguarded
+// Cholesky factorizations (tile::potrf_tiled_safeguarded and
+// tlr::potrf_tlr): when a barely-positive-definite covariance loses
+// definiteness — to tile truncation error on the TLR arm, to rounding on
+// the dense arm — the factorization restores the matrix, adds a small
+// multiple of the identity, and retries. The boost quadruples per retry
+// from a unit of the order of the perturbation the caller already accepted
+// (truncation tolerance, or machine epsilon of the diagonal scale), so the
+// total added nugget after r retries is unit * (4^r - 1) / 3 — still tiny
+// when one or two retries suffice, and exhausted quickly when the matrix
+// is genuinely indefinite.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace parmvn::la {
+
+/// Floor applied to every boost unit: even a zero-scale estimate must
+/// produce a non-zero step or retries would spin.
+inline constexpr double kJitterUnitFloor = 1e-14;
+
+/// First-retry boost from a problem-scale estimate (largest singular value
+/// times accepted relative error, or similar).
+[[nodiscard]] inline double jitter_unit(double scale) noexcept {
+  return std::max(scale, kJitterUnitFloor);
+}
+
+/// Boost added on retry `attempt` (0-based): quadruples each round.
+[[nodiscard]] inline double jitter_delta(double unit, int attempt) noexcept {
+  return unit * std::pow(4.0, attempt);
+}
+
+}  // namespace parmvn::la

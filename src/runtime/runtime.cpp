@@ -35,6 +35,11 @@ std::unordered_map<u64, Runtime::Impl*>& uid_registry() {
 
 std::atomic<u64> next_uid{1};
 
+// Process-wide leak tally (see Runtime::total_handles_leaked()): bumped in
+// the same uid-registry critical section that skips a non-quiescent slot,
+// so it survives the leaking runtime's destruction.
+std::atomic<i64> total_leaked{0};
+
 SchedulerKind resolve_kind(SchedulerKind requested) {
   if (requested != SchedulerKind::kDefault) return requested;
   return env_i64("PARMVN_SCHED_GLOBAL", 0) != 0 ? SchedulerKind::kGlobalQueue
@@ -81,7 +86,7 @@ class InlineImpl final : public Runtime::Impl {
       PARMVN_EXPECTS(acc.handle.id() < static_cast<i64>(in_use_.size()));
       PARMVN_EXPECTS(in_use_[static_cast<std::size_t>(acc.handle.id())]);
     }
-    if (!first_error_) {
+    if (!first_error_ && !cancelled_) {
       try {
         fn();
       } catch (...) {
@@ -92,11 +97,21 @@ class InlineImpl final : public Runtime::Impl {
   }
 
   void wait_all() override {
+    cancelled_ = false;
     if (first_error_) {
       std::exception_ptr err = first_error_;
       first_error_ = nullptr;
       std::rethrow_exception(err);
     }
+  }
+
+  // Inline mode runs tasks inside submit(), so cancel() from the submitting
+  // thread simply turns the remaining submissions into no-ops; cancel()
+  // from another thread has no stronger meaning in a single-threaded
+  // runtime (see the thread-safety note in runtime.hpp).
+  void cancel() override { cancelled_ = true; }
+  [[nodiscard]] bool cancel_requested() const noexcept override {
+    return cancelled_ || first_error_ != nullptr;
   }
 
   std::exception_ptr drain_pending_error() noexcept override {
@@ -113,6 +128,7 @@ class InlineImpl final : public Runtime::Impl {
   std::vector<bool> in_use_;
   std::vector<i64> free_ids_;
   std::exception_ptr first_error_;
+  bool cancelled_ = false;
   std::vector<TaskRecord> records_;  // inline mode records nothing
 };
 
@@ -157,6 +173,14 @@ Runtime::~Runtime() {
                    "submit)\n");
     }
   }
+  const i64 leaked = impl_->handles_leaked.load(std::memory_order_relaxed);
+  if (leaked > 0) {
+    std::fprintf(stderr,
+                 "[parmvn::rt] Runtime destroyed with %lld leaked handle "
+                 "slot(s) (HandleLease released while tasks were in "
+                 "flight)\n",
+                 static_cast<long long>(leaked));
+  }
   {
     std::unique_lock registry_lock(uid_registry_mutex());
     uid_registry().erase(impl_->uid);
@@ -178,6 +202,12 @@ void Runtime::submit(std::string_view name,
 }
 
 void Runtime::wait_all() { impl_->wait_all(); }
+
+void Runtime::cancel() { impl_->cancel(); }
+
+bool Runtime::cancel_requested() const noexcept {
+  return impl_->cancel_requested();
+}
 
 int Runtime::num_threads() const noexcept { return impl_->num_threads(); }
 
@@ -206,10 +236,14 @@ void HandleLease::release() noexcept {
     for (const DataHandle h : handles_) {
       // A non-quiescent handle (in-flight task references) fails its
       // release preconditions; skip it — one leaked slot beats throwing
-      // from a destructor.
+      // from a destructor — but count it, so the leak is observable
+      // (Runtime::handles_leaked(), stderr warning at destruction) instead
+      // of silent.
       try {
         it->second->release_handle(h);
-      } catch (...) {  // NOLINT(bugprone-empty-catch)
+      } catch (...) {
+        it->second->handles_leaked.fetch_add(1, std::memory_order_relaxed);
+        total_leaked.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }
@@ -221,6 +255,25 @@ i64 Runtime::tasks_executed() const noexcept {
 }
 
 i64 Runtime::tasks_stolen() const noexcept { return impl_->tasks_stolen(); }
+
+i64 Runtime::handles_leaked() const noexcept {
+  return impl_->handles_leaked.load(std::memory_order_relaxed);
+}
+
+i64 Runtime::total_handles_leaked() noexcept {
+  return total_leaked.load(std::memory_order_relaxed);
+}
+
+// Shared by every arm's record-append guard: first failure downgrades
+// tracing (workers check trace_enabled()) and warns once — a trace is a
+// diagnostic artifact, never worth failing the computation for.
+void Runtime::Impl::trace_record_failed() noexcept {
+  if (trace_ok.exchange(false, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "[parmvn::rt] trace record append failed; tracing disabled "
+                 "for the rest of this runtime's life\n");
+  }
+}
 
 const std::vector<TaskRecord>& Runtime::trace() const {
   return impl_->trace();

@@ -121,6 +121,20 @@ class Runtime {
   /// exception if any. Afterwards the runtime is reusable.
   void wait_all();
 
+  /// Cooperatively cancel the current epoch from any thread: every
+  /// not-yet-started task becomes a no-op (exactly the first-error
+  /// cancellation plumbing — tasks already running finish normally), so a
+  /// pending wait_all() returns promptly instead of draining the remaining
+  /// work. Unlike a task error, cancellation is not itself reported:
+  /// wait_all() returns normally (still rethrowing a task error if one
+  /// happened first) and clears the flag, leaving the runtime reusable.
+  /// Tasks that want to stop mid-body can poll cancel_requested().
+  void cancel();
+
+  /// Whether the current epoch is cancelling — set by cancel() or by the
+  /// first task error; cleared at the wait_all() epoch boundary.
+  [[nodiscard]] bool cancel_requested() const noexcept;
+
   [[nodiscard]] int num_threads() const noexcept;
 
   /// The scheduler arm this runtime resolved to at construction (kDefault
@@ -145,6 +159,18 @@ class Runtime {
   /// Tasks executed by a worker other than the one whose deque/inbox they
   /// were first placed in (work-stealing arm only; 0 elsewhere).
   [[nodiscard]] i64 tasks_stolen() const noexcept;
+
+  /// Handle slots this runtime could not reclaim because a
+  /// HandleLease::release() found them non-quiescent (an in-flight task
+  /// still referenced them — a caller bug; the lease skips the slot rather
+  /// than throw from a destructor). A healthy program keeps this at zero;
+  /// the destructor warns on stderr otherwise.
+  [[nodiscard]] i64 handles_leaked() const noexcept;
+
+  /// Process-wide sum of handles_leaked() over every runtime ever
+  /// constructed — lets test suites assert zero leaks at the end without
+  /// keeping each runtime alive.
+  [[nodiscard]] static i64 total_handles_leaked() noexcept;
 
   /// Timing records (only populated when enable_trace was set); stable to
   /// read after wait_all().
@@ -202,7 +228,8 @@ class HandleLease {
 
   /// Return every held handle to the owning runtime if it is still alive;
   /// idempotent, never throws (a handle that is not quiescent is skipped —
-  /// leaking one slot beats crashing a destructor).
+  /// leaking one slot beats crashing a destructor — and the owning runtime
+  /// counts it in Runtime::handles_leaked()).
   void release() noexcept;
 
   [[nodiscard]] u64 runtime_uid() const noexcept { return uid_; }

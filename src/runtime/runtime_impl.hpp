@@ -31,6 +31,13 @@ struct Runtime::Impl {
                       std::function<void()> fn, int priority) = 0;
   virtual void wait_all() = 0;
 
+  /// External cancel token: make every not-yet-started task of the current
+  /// epoch a no-op, exactly as the first-error plumbing does, but without
+  /// recording an error — wait_all() returns normally (after the no-op
+  /// drain) and clears the flag. Callable from any thread.
+  virtual void cancel() = 0;
+  [[nodiscard]] virtual bool cancel_requested() const noexcept = 0;
+
   /// Destructor support: wait for in-flight tasks to drain, then hand back
   /// (without clearing epoch state) any pending never-retrieved task error
   /// so the facade can surface it on stderr. Must not throw.
@@ -40,10 +47,22 @@ struct Runtime::Impl {
   [[nodiscard]] virtual const std::vector<TaskRecord>& trace() const = 0;
   [[nodiscard]] virtual i64 tasks_stolen() const noexcept { return 0; }
 
+  /// One mid-run trace failure (ENOMEM appending a record) downgrades
+  /// tracing to off for the rest of the runtime's life instead of
+  /// propagating an error out of a worker loop; see trace_record_failed().
+  [[nodiscard]] bool trace_enabled() const noexcept {
+    return tracing && trace_ok.load(std::memory_order_relaxed);
+  }
+  void trace_record_failed() noexcept;
+
   const u64 uid;
   const bool tracing;
   const SchedulerKind kind;  // resolved arm (never kDefault)
   std::atomic<i64> executed{0};
+  /// Handle slots a HandleLease::release() had to abandon because they were
+  /// not quiescent (see Runtime::handles_leaked()).
+  std::atomic<i64> handles_leaked{0};
+  std::atomic<bool> trace_ok{true};
 };
 
 std::unique_ptr<Runtime::Impl> make_inline_impl(u64 uid, bool tracing,

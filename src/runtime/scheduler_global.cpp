@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/contracts.hpp"
+#include "common/fault.hpp"
 #include "common/timer.hpp"
 #include "runtime/runtime_impl.hpp"
 
@@ -170,6 +171,19 @@ class GlobalImpl final : public Runtime::Impl {
     finish_epoch();
   }
 
+  // External cancel token: sets the same flag a first task error does
+  // (not-yet-started tasks become no-ops) without recording an error, so a
+  // pending wait_all() drains and returns normally; finish_epoch clears it.
+  void cancel() override {
+    std::unique_lock lock(mutex);
+    cancelled = true;
+  }
+
+  [[nodiscard]] bool cancel_requested() const noexcept override {
+    std::unique_lock lock(mutex);
+    return cancelled;
+  }
+
   std::exception_ptr drain_pending_error() noexcept override {
     std::unique_lock lock(mutex);
     done_cv.wait(lock, [this] { return in_flight == 0; });
@@ -217,7 +231,8 @@ class GlobalImpl final : public Runtime::Impl {
       const bool skip = cancelled;
       lock.unlock();
 
-      const double t0 = tracing ? global_time_s() : 0.0;
+      const bool rec = trace_enabled();
+      const double t0 = rec ? global_time_s() : 0.0;
       std::exception_ptr err;
       if (!skip) {
         try {
@@ -226,11 +241,21 @@ class GlobalImpl final : public Runtime::Impl {
           err = std::current_exception();
         }
       }
-      const double t1 = tracing ? global_time_s() : 0.0;
+      const double t1 = rec ? global_time_s() : 0.0;
 
       lock.lock();
-      if (tracing)
-        records.push_back({task->name, worker_id, t0, t1, /*stolen=*/false});
+      if (rec) {
+        // Never let a record-append failure escape the worker loop (it
+        // would terminate) or masquerade as a task error: downgrade
+        // tracing instead. Same policy as the work-stealing arm.
+        try {
+          PARMVN_FAULT_POINT("rt.trace");
+          records.push_back({task->name, worker_id, t0, t1,
+                             /*stolen=*/false});
+        } catch (...) {
+          trace_record_failed();
+        }
+      }
       if (err && !first_error) {
         first_error = err;
         cancelled = true;  // not-yet-started tasks become no-ops
@@ -252,8 +277,9 @@ class GlobalImpl final : public Runtime::Impl {
   }
 
   // All mutable state below is guarded by `mutex` — the single-lock design
-  // this arm exists to preserve.
-  std::mutex mutex;
+  // this arm exists to preserve (mutable so the const cancel_requested()
+  // probe can take it).
+  mutable std::mutex mutex;
   std::condition_variable ready_cv;
   std::condition_variable done_cv;
   std::vector<HandleState> handles;

@@ -44,6 +44,7 @@
 
 #include "common/contracts.hpp"
 #include "common/env.hpp"
+#include "common/fault.hpp"
 #include "common/timer.hpp"
 #include "common/ws_deque.hpp"
 #include "runtime/priority.hpp"
@@ -283,6 +284,18 @@ class WsImpl final : public Runtime::Impl {
       });
     }
     finish_epoch();
+  }
+
+  // External cancel token: flips the same flag the first task error does,
+  // without recording an error — execute() skips every not-yet-started
+  // task, in_flight_ drains through the no-op path, and wait_all() returns
+  // normally (finish_epoch clears the flag either way).
+  void cancel() override {
+    cancelled_.store(true, std::memory_order_release);
+  }
+
+  [[nodiscard]] bool cancel_requested() const noexcept override {
+    return cancelled_.load(std::memory_order_acquire);
   }
 
   std::exception_ptr drain_pending_error() noexcept override {
@@ -556,7 +569,8 @@ class WsImpl final : public Runtime::Impl {
 
   void execute(WsTask* task, Worker& me, int wid) {
     const bool skip = cancelled_.load(std::memory_order_acquire);
-    const double t0 = tracing ? global_time_s() : 0.0;
+    const bool rec = trace_enabled();
+    const double t0 = rec ? global_time_s() : 0.0;
     std::exception_ptr err;
     if (!skip) {
       try {
@@ -565,10 +579,20 @@ class WsImpl final : public Runtime::Impl {
         err = std::current_exception();
       }
     }
-    const double t1 = tracing ? global_time_s() : 0.0;
-    if (tracing)
-      me.records.push_back(
-          {task->name, wid, t0, t1, /*stolen=*/task->home_worker != wid});
+    const double t1 = rec ? global_time_s() : 0.0;
+    if (rec) {
+      // The record append runs outside the task's error capture: a failure
+      // here (ENOMEM growing the record vector) must not masquerade as a
+      // task error, and letting it escape the worker loop would terminate.
+      // Downgrade tracing instead — the computation is unharmed.
+      try {
+        PARMVN_FAULT_POINT("rt.trace");
+        me.records.push_back(
+            {task->name, wid, t0, t1, /*stolen=*/task->home_worker != wid});
+      } catch (...) {
+        trace_record_failed();
+      }
+    }
     if (err) {
       std::lock_guard<std::mutex> g(error_mu_);
       if (!first_error_) {

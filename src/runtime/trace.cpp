@@ -1,5 +1,7 @@
 #include "runtime/trace.hpp"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <map>
@@ -11,8 +13,15 @@ namespace parmvn::rt {
 
 void write_chrome_trace(const std::vector<TaskRecord>& records,
                         const std::string& path) {
+  errno = 0;
   std::ofstream out(path);
-  if (!out) throw Error("cannot open trace file: " + path);
+  if (!out) {
+    // ofstream swallows the reason; errno from the underlying open is the
+    // only context available, and "permission denied" vs "no such
+    // directory" is exactly what the caller needs to act on.
+    throw Error("cannot open trace file: " + path + ": " +
+                (errno != 0 ? std::strerror(errno) : "unknown error"));
+  }
   out << "[\n";
   bool first = true;
   for (const TaskRecord& r : records) {
@@ -24,6 +33,11 @@ void write_chrome_trace(const std::vector<TaskRecord>& records,
         << R"(,"args":{"stolen":)" << (r.stolen ? "true" : "false") << "}}";
   }
   out << "\n]\n";
+  out.flush();
+  if (!out) {
+    throw Error("trace write failed: " + path + ": " +
+                (errno != 0 ? std::strerror(errno) : "unknown error"));
+  }
 }
 
 std::string summarize_trace(const std::vector<TaskRecord>& records) {

@@ -1,7 +1,13 @@
 #include "tile/tiled_potrf.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
 #include "common/contracts.hpp"
+#include "common/fault.hpp"
 #include "linalg/blas.hpp"
+#include "linalg/jitter.hpp"
 #include "linalg/potrf.hpp"
 #include "runtime/priority.hpp"
 
@@ -19,7 +25,11 @@ void potrf_tiled(rt::Runtime& rt, TileMatrix& a) {
   for (i64 k = 0; k < nt; ++k) {
     la::MatrixView akk = a.tile(k, k);
     rt.submit("potrf", {{a.handle(k, k), rt::Access::kReadWrite}},
-              [akk] { la::potrf_lower_or_throw(akk); }, rt::kPrioPanel);
+              [akk] {
+                PARMVN_FAULT_POINT("tile.potrf.pivot");
+                la::potrf_lower_or_throw(akk);
+              },
+              rt::kPrioPanel);
 
     for (i64 i = k + 1; i < nt; ++i) {
       la::ConstMatrixView lkk = a.tile(k, k);
@@ -59,6 +69,38 @@ void potrf_tiled(rt::Runtime& rt, TileMatrix& a) {
     }
   }
   rt.wait_all();
+}
+
+PotrfTiledInfo potrf_tiled_safeguarded(rt::Runtime& rt, TileMatrix& a,
+                                       int max_retries) {
+  PARMVN_EXPECTS(max_retries >= 0);
+  PotrfTiledInfo info;
+  if (max_retries == 0) {
+    potrf_tiled(rt, a);  // identical path, no backup cost
+    return info;
+  }
+  // Dense backup for restarts; the boost unit is machine epsilon at the
+  // diagonal scale — the rounding-level perturbation a dense factorization
+  // has already accepted (the TLR arm's analog is its truncation tolerance).
+  la::Matrix backup = a.to_dense();
+  double max_diag = 0.0;
+  for (i64 i = 0; i < backup.rows(); ++i)
+    max_diag = std::max(max_diag, std::fabs(backup.view()(i, i)));
+  const double boost_unit = la::jitter_unit(
+      std::numeric_limits<double>::epsilon() * max_diag);
+  for (int attempt = 0;; ++attempt) {
+    try {
+      potrf_tiled(rt, a);
+      return info;
+    } catch (const Error&) {
+      if (attempt >= max_retries) throw;
+      const double delta = la::jitter_delta(boost_unit, attempt);
+      for (i64 i = 0; i < backup.rows(); ++i) backup.view()(i, i) += delta;
+      a.from_dense(backup.view());
+      info.diag_boost += delta;
+      ++info.retries;
+    }
+  }
 }
 
 double potrf_flops(i64 n) {

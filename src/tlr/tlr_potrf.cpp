@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "common/contracts.hpp"
+#include "common/fault.hpp"
 #include "linalg/blas.hpp"
+#include "linalg/jitter.hpp"
 #include "linalg/potrf.hpp"
 #include "runtime/priority.hpp"
 
@@ -22,7 +24,11 @@ void potrf_tlr_attempt(rt::Runtime& rt, TlrMatrix& a) {
     // POTRF on the dense diagonal tile.
     la::MatrixView dkk = a.diag(k);
     rt.submit("tlr_potrf", {{a.diag_handle(k), rt::Access::kReadWrite}},
-              [dkk] { la::potrf_lower_or_throw(dkk); }, rt::kPrioPanel);
+              [dkk] {
+                PARMVN_FAULT_POINT("tlr.potrf.pivot");
+                la::potrf_lower_or_throw(dkk);
+              },
+              rt::kPrioPanel);
 
     // TRSM on the V factor of every tile below the pivot:
     // A_ik L_kk^-T = U_ik (L_kk^-1 V_ik)^T  =>  V <- L_kk^-1 V.
@@ -110,18 +116,17 @@ PotrfTlrInfo potrf_tlr(rt::Runtime& rt, TlrMatrix& a, int max_retries) {
   PotrfTlrInfo info;
   // Backup for retries (compressed form: cheap relative to dense).
   TlrMatrix backup = a;
-  const double boost_unit =
-      std::max(a.tolerance() * max_tile_sigma1(a), 1e-14);
+  const double boost_unit = la::jitter_unit(a.tolerance() * max_tile_sigma1(a));
   for (int attempt = 0;; ++attempt) {
     try {
       potrf_tlr_attempt(rt, a);
       return info;
     } catch (const Error&) {
       if (attempt >= max_retries) throw;
-      // Restore and boost: delta quadruples each retry, starting at the
-      // order of the per-tile truncation error.
+      // Restore and boost: the shared escalation schedule (linalg/jitter.hpp)
+      // starting at the order of the per-tile truncation error.
       a = backup;
-      const double delta = boost_unit * std::pow(4.0, attempt);
+      const double delta = la::jitter_delta(boost_unit, attempt);
       for (i64 k = 0; k < a.num_tiles(); ++k) {
         la::MatrixView d = a.diag(k);
         for (i64 i = 0; i < d.rows; ++i) d(i, i) += delta;

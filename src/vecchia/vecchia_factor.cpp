@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/contracts.hpp"
+#include "common/fault.hpp"
 #include "common/timer.hpp"
 
 namespace parmvn::vecchia {
@@ -99,6 +100,7 @@ VecchiaFactor VecchiaFactor::build(rt::Runtime& rt,
   for (i64 lo = 0; lo < n; lo += kFitChunk) {
     const i64 hi = std::min(n, lo + kFitChunk);
     rt.submit("vecchia_fit", {}, [g, sets, weights, sds, lo, hi, m] {
+      PARMVN_FAULT_POINT("vecchia.fit");
       la::Matrix c(m, m);
       std::vector<double> z(static_cast<std::size_t>(m), 0.0);
       for (i64 i = lo; i < hi; ++i) {

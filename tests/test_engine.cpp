@@ -441,4 +441,10 @@ TEST(FactorCache, ConcurrentServingThreadsShareOneCache) {
   EXPECT_LE(cache.size(), cache.capacity());
 }
 
+// Satellite of the failure-domain hardening PR: no runtime in this suite
+// may have leaked a tile-handle slot through HandleLease::release().
+TEST(HandleHygiene, NoHandleLeakedAcrossTheWholeSuite) {
+  EXPECT_EQ(rt::Runtime::total_handles_leaked(), 0);
+}
+
 }  // namespace

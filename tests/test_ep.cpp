@@ -392,4 +392,10 @@ TEST(Tiered, OffReproducesQmcPathBitwise) {
     EXPECT_DOUBLE_EQ(plain.prefix_prob[i], via_tiered.prefix_prob[i]);
 }
 
+// Satellite of the failure-domain hardening PR: no runtime in this suite
+// may have leaked a tile-handle slot through HandleLease::release().
+TEST(HandleHygiene, NoHandleLeakedAcrossTheWholeSuite) {
+  EXPECT_EQ(rt::Runtime::total_handles_leaked(), 0);
+}
+
 }  // namespace
