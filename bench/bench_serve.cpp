@@ -1,0 +1,126 @@
+// Serving-layer throughput/latency sweep: how the dynamic-batching window
+// trades per-request latency against fused-batch throughput, and what the
+// degradation ladder buys under a saturating client load.
+//
+// Rows: (batch_window_ms, clients) -> completed/shed counts, mean batch
+// size, wall time, throughput. The interesting comparison is window 0 (no
+// coalescing: every request pays its own engine sweep) against a few ms of
+// window (requests share one wide-panel sweep per batch — the serving-side
+// realisation of the paper's batched-query fusion).
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "geo/covgen.hpp"
+#include "geo/geometry.hpp"
+#include "serve/server.hpp"
+#include "stats/covariance.hpp"
+
+namespace {
+
+using namespace parmvn;
+
+struct LoadResult {
+  double seconds = 0.0;
+  serve::ServerStats stats;
+};
+
+LoadResult run_load(i64 side, i64 window_ms, int clients, int per_client,
+                    int threads) {
+  serve::ServeOptions opts;
+  opts.queue_capacity = 64;
+  opts.batch_window_ms = window_ms;
+  opts.max_batch = 16;
+  opts.engine.samples_per_shift = 500;
+  opts.engine.shifts = 8;
+  opts.engine.sampler = stats::SamplerKind::kRichtmyer;
+  serve::Server server(opts, threads);
+
+  const auto grid = geo::regular_grid(side, side);
+  const auto locs = geo::apply_permutation(grid, geo::morton_order(grid));
+  const auto kernel = std::make_shared<stats::ExponentialKernel>(1.0, 0.2);
+  serve::FieldSpec field;
+  field.cov = std::make_shared<geo::KernelCovGenerator>(locs, kernel, 1e-6);
+  field.factor = engine::FactorSpec{engine::FactorKind::kDense, 32, 0.0, -1};
+  const i64 n = field.cov->rows();
+  server.register_field("gp", std::move(field));
+
+  // Warm the factor cache so rows measure serving, not the one-time factor.
+  {
+    serve::Request warm;
+    warm.field = "gp";
+    warm.a.assign(static_cast<std::size_t>(n), 0.0);
+    (void)server.evaluate(std::move(warm));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads_v;
+  threads_v.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads_v.emplace_back([&, c] {
+      std::vector<std::future<serve::Response>> futs;
+      futs.reserve(static_cast<std::size_t>(per_client));
+      for (int q = 0; q < per_client; ++q) {
+        serve::Request req;
+        req.field = "gp";
+        req.a.assign(static_cast<std::size_t>(n),
+                     -1.0 + 0.05 * static_cast<double>(q % 16));
+        req.seed = static_cast<u64>(c * 1000 + q);
+        futs.push_back(server.submit(std::move(req)));
+      }
+      for (auto& f : futs) (void)f.get();
+    });
+  }
+  for (auto& t : threads_v) t.join();
+  LoadResult r;
+  r.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            t0)
+                  .count();
+  server.drain();
+  r.stats = server.stats();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  const i64 side = args.full ? 16 : (args.quick ? 6 : 10);
+  const int per_client = args.full ? 32 : (args.quick ? 4 : 16);
+  const int threads =
+      args.threads > 0 ? static_cast<int>(args.threads) : 2;
+
+  bench::header("serve_throughput",
+                "dynamic-batching window vs serving throughput", args);
+  std::printf("%-10s %-8s %-10s %-10s %-10s %-12s %-10s\n", "window_ms",
+              "clients", "completed", "shed", "batches", "mean_batch",
+              "req_per_s");
+  for (const i64 window_ms : {i64{0}, i64{2}, i64{10}}) {
+    for (const int clients : {1, 4, 8}) {
+      const LoadResult r =
+          run_load(side, window_ms, clients, per_client, threads);
+      const double mean_batch =
+          r.stats.batches > 0
+              ? static_cast<double>(r.stats.batched_queries) /
+                    static_cast<double>(r.stats.batches)
+              : 0.0;
+      const double rps =
+          r.seconds > 0.0
+              ? static_cast<double>(r.stats.completed_ok) / r.seconds
+              : 0.0;
+      std::printf("%-10lld %-8d %-10lld %-10lld %-10lld %-12.2f %-10.1f\n",
+                  static_cast<long long>(window_ms), clients,
+                  static_cast<long long>(r.stats.completed_ok),
+                  static_cast<long long>(r.stats.rejected_overload),
+                  static_cast<long long>(r.stats.batches), mean_batch, rps);
+    }
+  }
+  bench::row_comment(
+      "window 0 = no coalescing; larger windows fuse concurrent requests "
+      "into shared wide-panel sweeps");
+  return 0;
+}

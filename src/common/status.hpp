@@ -4,6 +4,13 @@
 // down the whole batch, each result carries a Status and failed queries
 // report *what stage* failed while the rest of the batch stays valid.
 //
+// The serving layer (src/serve) extends the taxonomy with request-lifecycle
+// outcomes: kOverloaded (admission rejected under backpressure or drain),
+// kDeadline (the request's budget expired before evaluation began — an
+// engine-level mid-sweep expiry instead returns kOk with
+// EvalMethod::kDeadline and a partial estimate), and kInvalidArgument (a
+// malformed request rejected before admission).
+//
 // Single-query convenience wrappers keep throwing parmvn::Error — Status
 // is the batch-boundary representation of the same taxonomy.
 #pragma once
@@ -22,6 +29,16 @@ enum class StatusCode {
   /// The factor was built but the probability evaluation (EP screen + QMC
   /// sweep) failed.
   kEvalFailed,
+  /// Admission control rejected the request: the bounded queue was full, or
+  /// the server was draining. The request was never admitted, so retrying
+  /// later is always safe.
+  kOverloaded,
+  /// The request's deadline expired while it was still queued — it was
+  /// retired before touching the engine, so no samples were spent on it.
+  kDeadline,
+  /// The request was malformed (unknown field, mismatched limit lengths,
+  /// negative deadline) and was rejected before admission.
+  kInvalidArgument,
 };
 
 struct Status {
@@ -36,6 +53,15 @@ struct Status {
   [[nodiscard]] static Status eval_failed(std::string msg) {
     return {StatusCode::kEvalFailed, std::move(msg)};
   }
+  [[nodiscard]] static Status overloaded(std::string msg) {
+    return {StatusCode::kOverloaded, std::move(msg)};
+  }
+  [[nodiscard]] static Status deadline(std::string msg) {
+    return {StatusCode::kDeadline, std::move(msg)};
+  }
+  [[nodiscard]] static Status invalid_argument(std::string msg) {
+    return {StatusCode::kInvalidArgument, std::move(msg)};
+  }
 };
 
 [[nodiscard]] constexpr const char* to_string(StatusCode c) noexcept {
@@ -43,6 +69,9 @@ struct Status {
     case StatusCode::kOk: return "ok";
     case StatusCode::kFactorFailed: return "factor_failed";
     case StatusCode::kEvalFailed: return "eval_failed";
+    case StatusCode::kOverloaded: return "overloaded";
+    case StatusCode::kDeadline: return "deadline";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
   }
   return "unknown";
 }

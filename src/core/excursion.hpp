@@ -21,7 +21,12 @@
 // from the optional engine::FactorCache, so repeated calls (serving) reuse
 // factors across requests — and are integrated in one fused batched sweep.
 // Each query's numbers are bitwise identical to a detect_confidence_region
-// call with the same parameters and seed.
+// call with the same parameters and seed. Concurrent host threads may call
+// this with one shared Runtime + FactorCache: the factor and engine entry
+// points serialise their submit…wait_all epochs through
+// Runtime::exclusive_epoch() (test_serve drives this on both scheduler
+// arms). The managed alternative is serve::Server (src/serve/), which adds
+// admission control, cross-caller batching and overload degradation.
 #pragma once
 
 #include <optional>

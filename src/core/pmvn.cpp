@@ -23,6 +23,10 @@ engine::EngineOptions engine_options(const PmvnOptions& opts) {
   eo.tiered = opts.tiered;
   eo.ep_margin = opts.ep_margin;
   eo.deadline_ms = opts.deadline_ms;
+  // Reject nonsense (negative deadline, negative ep_margin, zero samples…)
+  // here at the translation point, so every PmvnOptions consumer fails
+  // typed at construction instead of as undefined downstream behavior.
+  eo.validate();
   return eo;
 }
 

@@ -57,6 +57,10 @@ CholeskyFactor CholeskyFactor::factor(rt::Runtime& rt,
   PARMVN_EXPECTS(gen.rows() == gen.cols());
   PARMVN_EXPECTS(spec.tile >= 1);
   PARMVN_EXPECTS(spec.jitter_retries >= 0);
+  // Factoring is a full submit…wait_all epoch: serialise it against other
+  // host threads sharing `rt` (concurrent cache misses on different keys,
+  // concurrent detect_confidence_regions callers).
+  const auto epoch = rt.exclusive_epoch();
   PARMVN_FAULT_POINT("engine.factor");
   const i64 n = gen.rows();
 

@@ -73,6 +73,7 @@ std::shared_ptr<const CholeskyFactor> FactorCache::get_or_factor(
   const std::string key = make_key(gen_key, rt.uid(), order, spec);
   {
     std::unique_lock<std::mutex> lock(mu_);
+    bool waited = false;
     for (;;) {
       // Entries of destroyed runtimes can never be hit again (uids are not
       // reused); drop them so they stop pinning factor memory and capacity.
@@ -100,12 +101,19 @@ std::shared_ptr<const CholeskyFactor> FactorCache::get_or_factor(
         index_.erase(it);
         break;
       }
-      if (!in_flight_.contains(key)) break;
+      if (!in_flight_.contains(key)) {
+        // Reaching here after at least one wait means the in-flight
+        // factorization we waited on failed (a success would have hit the
+        // index above): this caller takes the work over.
+        if (waited) ++stats_.in_flight_takeovers;
+        break;
+      }
       // Another thread is factoring this key: duplicating the work would
       // not just waste the factorization — the discarded duplicate would
       // permanently leak its runtime tile-handle slots. Wait for the
       // winner's insert (or its failure) and re-check.
       factored_cv_.wait(lock);
+      waited = true;
     }
     ++stats_.misses;
     in_flight_.insert(key);

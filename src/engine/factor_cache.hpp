@@ -46,6 +46,13 @@ struct FactorCacheStats {
   i64 hits = 0;
   i64 misses = 0;
   i64 evictions = 0;
+  /// Times a caller woke from waiting on another thread's in-flight
+  /// factorization to find it had *failed* (the key gone from both the
+  /// index and the in-flight registry) and took the work over itself. A
+  /// non-zero value under serving means factor failures are being absorbed
+  /// by waiters instead of wedging the key — the health signal the serve
+  /// layer surfaces in its stats report.
+  i64 in_flight_takeovers = 0;
 };
 
 class FactorCache {

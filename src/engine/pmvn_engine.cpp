@@ -38,20 +38,35 @@ bool clears_decision(double mean, double err, double decision) {
 
 }  // namespace
 
+void EngineOptions::validate() const {
+  const auto reject = [](const std::string& what) {
+    throw Error("EngineOptions: " + what);
+  };
+  if (samples_per_shift < 1) reject("samples_per_shift must be >= 1");
+  if (shifts < 1) reject("shifts must be >= 1");
+  if (panel_bytes < 1) reject("panel_bytes must be >= 1");
+  if (deadline_ms < 0) reject("deadline_ms must be >= 0");
+  if (antithetic && shifts % 2 != 0)
+    reject("antithetic pairing requires an even shift count");
+  if (!(abs_tol >= 0.0) || !std::isfinite(abs_tol))
+    reject("abs_tol must be finite and >= 0");
+  if (!(ep_margin >= 0.0) || !std::isfinite(ep_margin))
+    reject("ep_margin must be finite and >= 0");
+  if (adaptive) {
+    // The running estimate gates stop decisions, so at least two
+    // (independent) blocks are required before the first check.
+    if (shifts < 2) reject("adaptive evaluation requires shifts >= 2");
+    if (min_shifts < 2 || min_shifts > shifts)
+      reject("min_shifts must lie in [2, shifts]");
+  }
+}
+
 PmvnEngine::PmvnEngine(rt::Runtime& rt,
                        std::shared_ptr<const CholeskyFactor> factor,
                        EngineOptions opts)
     : rt_(rt), factor_(std::move(factor)), opts_(opts) {
   PARMVN_EXPECTS(factor_ != nullptr);
-  PARMVN_EXPECTS(opts_.samples_per_shift >= 1 && opts_.shifts >= 1);
-  PARMVN_EXPECTS(!opts_.antithetic || opts_.shifts % 2 == 0);
-  PARMVN_EXPECTS(opts_.deadline_ms >= 0);
-  if (opts_.adaptive) {
-    // The running estimate gates stop decisions, so at least two
-    // (independent) blocks are required before the first check.
-    PARMVN_EXPECTS(opts_.shifts >= 2);
-    PARMVN_EXPECTS(opts_.min_shifts >= 2 && opts_.min_shifts <= opts_.shifts);
-  }
+  opts_.validate();
 }
 
 QueryResult PmvnEngine::evaluate_one(const LimitSet& query) const {
@@ -61,6 +76,11 @@ QueryResult PmvnEngine::evaluate_one(const LimitSet& query) const {
 
 std::vector<QueryResult> PmvnEngine::evaluate(
     std::span<const LimitSet> queries) const {
+  // The whole evaluation (EP screens included — they share the factor's
+  // SiteCache and precede the sweep's submit…wait_all rounds) runs as one
+  // exclusive epoch, so host threads sharing `rt_` can evaluate
+  // concurrently without racing submit() against wait_all().
+  const auto epoch = rt_.exclusive_epoch();
   if (!opts_.tiered) return evaluate_qmc(queries);
   const i64 nq = static_cast<i64>(queries.size());
   if (nq == 0) return {};

@@ -109,6 +109,13 @@ struct EngineOptions {
   [[nodiscard]] i64 total_samples() const noexcept {
     return samples_per_shift * static_cast<i64>(shifts);
   }
+
+  /// Range-check every knob and throw a typed parmvn::Error naming the
+  /// offending one (negative deadline_ms, negative ep_margin, zero
+  /// samples, an odd antithetic shift count, …). PmvnEngine's constructor
+  /// and core::engine_options() both call this, so nonsense options fail
+  /// at construction instead of as undefined downstream behavior.
+  void validate() const;
 };
 
 /// One query: integration limits in the factor's (ordered, standardised)

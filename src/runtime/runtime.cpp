@@ -203,6 +203,10 @@ void Runtime::submit(std::string_view name,
 
 void Runtime::wait_all() { impl_->wait_all(); }
 
+std::unique_lock<std::mutex> Runtime::exclusive_epoch() const {
+  return std::unique_lock<std::mutex>(impl_->epoch_mu);
+}
+
 void Runtime::cancel() { impl_->cancel(); }
 
 bool Runtime::cancel_requested() const noexcept {

@@ -41,9 +41,11 @@
 // Thread-safety (threaded arms): submit(), register_data() and
 // release_data() may be called from any thread, concurrently. wait_all()
 // must not race with submit() on the same runtime (an epoch boundary
-// concurrent with submission has no meaningful semantics); callers that
-// share a Runtime across threads must fence their own submission phases, as
-// the engine's FactorCache does by binding factors to a runtime. Inline
+// concurrent with submission has no meaningful semantics); host threads
+// that share a Runtime serialise their submit…wait_all phases through
+// exclusive_epoch() — the engine's factor/evaluate entry points do so
+// automatically, so concurrent engine-level callers need no external
+// fencing. Inline
 // mode (0 workers) is single-threaded by construction: tasks run inside
 // submit() on the calling thread, and all calls must come from one thread
 // at a time.
@@ -55,6 +57,7 @@
 #include <functional>
 #include <initializer_list>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -120,6 +123,18 @@ class Runtime {
   /// Block until all submitted tasks completed; rethrows the first task
   /// exception if any. Afterwards the runtime is reusable.
   void wait_all();
+
+  /// Serialise a whole submit…wait_all phase against other host threads
+  /// sharing this runtime: hold the returned lock for the duration of the
+  /// phase and concurrent phases queue up instead of racing submit()
+  /// against wait_all() (which has no meaningful semantics — see the
+  /// thread-safety note above). The engine's epoch-shaped entry points
+  /// (CholeskyFactor::factor*, PmvnEngine::evaluate) take this lock
+  /// themselves, so concurrent detect_confidence_regions callers — and the
+  /// serving layer — can share one Runtime + FactorCache without external
+  /// fencing; raw submit()/wait_all() callers must still take it (or fence
+  /// some other way) when they share a runtime across threads.
+  [[nodiscard]] std::unique_lock<std::mutex> exclusive_epoch() const;
 
   /// Cooperatively cancel the current epoch from any thread: every
   /// not-yet-started task becomes a no-op (exactly the first-error

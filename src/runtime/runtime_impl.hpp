@@ -14,6 +14,7 @@
 #include <atomic>
 #include <exception>
 #include <memory>
+#include <mutex>
 
 #include "runtime/runtime.hpp"
 
@@ -58,6 +59,10 @@ struct Runtime::Impl {
   const u64 uid;
   const bool tracing;
   const SchedulerKind kind;  // resolved arm (never kDefault)
+  /// Backs Runtime::exclusive_epoch(): host threads sharing one runtime
+  /// serialise their submit…wait_all phases on this mutex (the scheduler
+  /// itself never touches it — it only orders *host-side* epochs).
+  std::mutex epoch_mu;
   std::atomic<i64> executed{0};
   /// Handle slots a HandleLease::release() had to abandon because they were
   /// not quiescent (see Runtime::handles_leaked()).

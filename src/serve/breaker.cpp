@@ -1,0 +1,31 @@
+#include "serve/breaker.hpp"
+
+namespace parmvn::serve {
+
+bool CircuitBreaker::allow(Clock::time_point now) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return now >= open_until_;
+}
+
+void CircuitBreaker::record_success() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  open_until_ = Clock::time_point{};
+}
+
+bool CircuitBreaker::record_failure(Clock::time_point now) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++consecutive_failures_;
+  if (consecutive_failures_ < threshold_) return false;
+  // At or past the threshold every further failure restarts the cooldown:
+  // a half-open probe that fails re-opens immediately.
+  open_until_ = now + cooldown_;
+  return true;
+}
+
+bool CircuitBreaker::open(Clock::time_point now) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return now < open_until_;
+}
+
+}  // namespace parmvn::serve

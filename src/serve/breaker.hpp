@@ -1,0 +1,54 @@
+// Per-field circuit breaker: fail fast after repeated factor failures.
+//
+// A field whose covariance persistently fails to factor (non-PD under its
+// configured jitter/fallback ladder, bad generator state) would otherwise
+// burn a full retry ladder per request forever. The breaker counts
+// *consecutive* factor failures; at `threshold` it opens and requests for
+// the field are rejected at admission — no queue slot, no factor attempt —
+// until `cooldown` has passed. The first request after cooldown probes
+// (half-open): success closes the breaker and resets the count, another
+// failure re-opens it for a fresh cooldown.
+//
+// Classic three-state breaker semantics, folded into two pieces of state
+// (consecutive failure count + open-until timestamp); internally locked so
+// admission (client threads) and outcome recording (the batcher) can race.
+#pragma once
+
+#include <chrono>
+#include <mutex>
+
+#include "common/types.hpp"
+
+namespace parmvn::serve {
+
+class CircuitBreaker {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `threshold` consecutive failures open the breaker for `cooldown`.
+  CircuitBreaker(int threshold, std::chrono::milliseconds cooldown)
+      : threshold_(threshold), cooldown_(cooldown) {}
+
+  /// Admission check: false while open (inside cooldown). After cooldown
+  /// the breaker lets requests through half-open; it re-opens only on the
+  /// next recorded failure.
+  [[nodiscard]] bool allow(Clock::time_point now = Clock::now());
+
+  /// Record a factor success: closes the breaker, resets the count.
+  void record_success();
+
+  /// Record a factor failure. Returns true when this failure opened (or
+  /// re-opened) the breaker — the caller's "breaker tripped" signal.
+  bool record_failure(Clock::time_point now = Clock::now());
+
+  [[nodiscard]] bool open(Clock::time_point now = Clock::now());
+
+ private:
+  const int threshold_;
+  const std::chrono::milliseconds cooldown_;
+  std::mutex mu_;
+  int consecutive_failures_ = 0;
+  Clock::time_point open_until_{};  // epoch = never opened
+};
+
+}  // namespace parmvn::serve

@@ -256,6 +256,57 @@ TEST(PmvnEngine, EmptyBatchAndShapeChecks) {
   EXPECT_THROW((void)eng.evaluate_one({short_a, b, 1, false}), Error);
 }
 
+TEST(EngineOptions, ValidateRejectsEveryBadKnobTyped) {
+  // Nonsense options must fail typed at construction (PmvnEngine's ctor and
+  // core::engine_options both call validate()), never as undefined
+  // downstream behaviour.
+  const auto expect_throws = [](auto mutate) {
+    engine::EngineOptions o;
+    mutate(o);
+    EXPECT_THROW(o.validate(), Error);
+  };
+  engine::EngineOptions ok;
+  EXPECT_NO_THROW(ok.validate());
+  expect_throws([](auto& o) { o.samples_per_shift = 0; });
+  expect_throws([](auto& o) { o.shifts = 0; });
+  expect_throws([](auto& o) { o.panel_bytes = 0; });
+  expect_throws([](auto& o) { o.deadline_ms = -1; });
+  expect_throws([](auto& o) { o.ep_margin = -0.05; });
+  expect_throws([](auto& o) { o.ep_margin = std::nan(""); });
+  expect_throws([](auto& o) { o.abs_tol = -1.0; });
+  expect_throws([](auto& o) {
+    o.antithetic = true;
+    o.shifts = 5;
+  });
+  expect_throws([](auto& o) {
+    o.adaptive = true;
+    o.min_shifts = 1;
+  });
+  expect_throws([](auto& o) {
+    o.adaptive = true;
+    o.min_shifts = o.shifts + 1;
+  });
+}
+
+TEST(EngineOptions, PmvnEngineConstructorValidates) {
+  const SpatialProblem pb(4);
+  rt::Runtime rt(1);
+  std::vector<i64> identity(static_cast<std::size_t>(pb.n()));
+  std::iota(identity.begin(), identity.end(), i64{0});
+  const engine::FactorSpec spec{engine::FactorKind::kDense, 8, 0.0, -1};
+  auto factor = std::make_shared<const engine::CholeskyFactor>(
+      engine::CholeskyFactor::factor_ordered(rt, *pb.cov, identity, spec));
+  engine::EngineOptions bad = small_opts();
+  bad.deadline_ms = -1;
+  EXPECT_THROW(engine::PmvnEngine(rt, factor, bad), Error);
+}
+
+TEST(EngineOptions, PmvnOptionsTranslationValidates) {
+  core::PmvnOptions bad;
+  bad.ep_margin = -0.2;
+  EXPECT_THROW((void)core::engine_options(bad), Error);
+}
+
 TEST(FactorCache, HitsMissesAndLru) {
   const SpatialProblem pb(5);
   rt::Runtime rt(2);

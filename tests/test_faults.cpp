@@ -564,6 +564,13 @@ TEST(FactorCache, WaiterTakesOverWhenTheInFlightFactorizationFails) {
   EXPECT_EQ(errors.load(), 1) << "exactly the scheduled failure";
   EXPECT_EQ(good.load(), 1) << "the other caller recovered";
   EXPECT_EQ(cache.size(), 1u);
+  // The takeover counter records the waiter-observed-failure schedule (the
+  // loser may instead have arrived after cleanup, a plain second miss), so
+  // the deterministic claim is the bound, not the exact schedule — see the
+  // concurrent-site note in common/fault.hpp.
+  EXPECT_LE(cache.stats().in_flight_takeovers, 1);
+  EXPECT_EQ(cache.stats().misses, 2)
+      << "both callers paid a factorization (a takeover is also a miss)";
   // The key is not wedged: a later call hits the recovered entry.
   (void)cache.get_or_factor(rt, *pb.cov, identity, spec);
   EXPECT_GE(cache.stats().hits, 1);
